@@ -1,0 +1,113 @@
+// Command expdriver regenerates the tables and figures of the paper's
+// experimental evaluation (Section 6) as text tables.
+//
+// Usage:
+//
+//	expdriver -exp all                     # everything at the small scale
+//	expdriver -exp fig6 -budget 30s -triples 200000 -sizes 5,10,20,50,100,200
+//	expdriver -exp fig7 -csv               # emit plot-ready CSV timelines
+//
+// Experiments: table2, fig4, fig5, fig6, table3 (alias fig7), fig7, fig8, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rdfviews/internal/exp"
+)
+
+func main() {
+	var (
+		which   = flag.String("exp", "all", "experiment: table2|fig4|fig5|fig6|fig7|table3|fig8|ablation|all")
+		budget  = flag.Duration("budget", 0, "search time budget per run (default: scale preset)")
+		triples = flag.Int("triples", 0, "synthetic dataset size (default: scale preset)")
+		states  = flag.Int("maxstates", 0, "state budget standing in for memory (default: preset)")
+		seed    = flag.Int64("seed", 2011, "generator seed")
+		scale   = flag.String("scale", "small", "preset scale: small|medium")
+		sizes   = flag.String("sizes", "", "fig6 workload sizes, comma-separated (default 5,10,20,50,100,200)")
+		atoms   = flag.Int("atoms", 0, "fig5 atoms per query (default 4) / fig6 atoms (default 10)")
+		repeats = flag.Int("repeats", 3, "fig8 timing repetitions")
+		csv     = flag.Bool("csv", false, "fig7: also print CSV timelines")
+	)
+	flag.Parse()
+
+	sc := exp.SmallScale()
+	if *scale == "medium" {
+		sc = exp.MediumScale()
+	}
+	if *budget > 0 {
+		sc.Budget = *budget
+	}
+	if *triples > 0 {
+		sc.Triples = *triples
+	}
+	if *states > 0 {
+		sc.MaxStates = *states
+	}
+	sc.Seed = *seed
+
+	run := func(name string) error {
+		start := time.Now()
+		defer func() {
+			fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}()
+		switch name {
+		case "table2":
+			fmt.Println(exp.Table2())
+		case "fig4":
+			fmt.Println(exp.Figure4(sc).String())
+		case "fig5":
+			fmt.Println(exp.Figure5(sc, *atoms).String())
+		case "fig6":
+			var szs []int
+			if *sizes != "" {
+				for _, s := range strings.Split(*sizes, ",") {
+					n, err := strconv.Atoi(strings.TrimSpace(s))
+					if err != nil {
+						return fmt.Errorf("bad -sizes: %w", err)
+					}
+					szs = append(szs, n)
+				}
+			}
+			fmt.Println(exp.Figure6(sc, szs, *atoms).String())
+		case "fig7", "table3":
+			res, err := exp.ReformExperiment(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.String())
+			if *csv {
+				for _, s := range res.Series {
+					fmt.Printf("# timeline %s %s\n%s\n", s.Workload, s.Mode, s.TimelineCSV())
+				}
+			}
+		case "fig8":
+			res, err := exp.Figure8(sc, *repeats)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.String())
+		case "ablation":
+			fmt.Println(exp.Ablation(sc, 0, *atoms).String())
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*which}
+	if *which == "all" {
+		names = []string{"table2", "fig4", "fig5", "fig6", "fig7", "fig8", "ablation"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}

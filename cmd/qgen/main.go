@@ -1,0 +1,84 @@
+// Command qgen generates query workloads of controllable size, shape and
+// commonality (the paper's first workload generator), or satisfiable
+// workloads against a dataset (the second generator).
+//
+// Usage:
+//
+//	qgen -n 10 -atoms 5 -shape star -commonality high
+//	qgen -n 10 -atoms 5 -data data.nt          # satisfiable on the dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rdfviews/internal/cq"
+	"rdfviews/internal/dict"
+	"rdfviews/internal/rdf"
+	"rdfviews/internal/store"
+	"rdfviews/internal/workload"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 5, "number of queries")
+		atoms = flag.Int("atoms", 5, "atoms per query")
+		shape = flag.String("shape", "star", "star|chain|cycle|sparse|dense|mixed")
+		comm  = flag.String("commonality", "low", "low|high")
+		seed  = flag.Int64("seed", 1, "random seed")
+		data  = flag.String("data", "", "dataset for satisfiable generation (optional)")
+	)
+	flag.Parse()
+
+	shapes := map[string]workload.Shape{
+		"star": workload.Star, "chain": workload.Chain, "cycle": workload.Cycle,
+		"sparse": workload.RandomSparse, "dense": workload.RandomDense, "mixed": workload.Mixed,
+	}
+	sh, ok := shapes[*shape]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "qgen: unknown shape %q\n", *shape)
+		os.Exit(2)
+	}
+	commonality := workload.Low
+	if *comm == "high" {
+		commonality = workload.High
+	}
+	spec := workload.Spec{
+		Queries: *n, AtomsPerQuery: *atoms, Shape: sh, Commonality: commonality, Seed: *seed,
+	}
+
+	var queries []*cq.Query
+	var d *dict.Dictionary
+	if *data != "" {
+		f, err := os.Open(*data)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := rdf.Parse(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		st := store.New()
+		if _, err := st.AddGraph(g); err != nil {
+			fatal(err)
+		}
+		d = st.Dict()
+		queries, err = workload.GenerateSatisfiable(st, spec)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		d = dict.New()
+		queries = workload.Generate(d, spec)
+	}
+	for _, q := range queries {
+		fmt.Println(q.Format(d))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command rdfviews is the view-selection wizard: given an RDF dataset, an
+// optional RDF Schema, and a workload of conjunctive queries, it recommends
+// the views to materialize and the rewriting of every workload query
+// (the RDFViewS tool of the paper, Section 6 / [10]).
+//
+// Usage:
+//
+//	rdfviews -data data.nt -queries workload.cq [-schema schema.nt] \
+//	         [-strategy dfs] [-reasoning post] [-timeout 10s] [-answer]
+//
+// The workload file holds one query per line:
+//
+//	q(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y), t(Y, hasPainted, Z)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rdfviews"
+)
+
+func main() {
+	var (
+		dataPath   = flag.String("data", "", "N-Triples data file (required)")
+		schemaPath = flag.String("schema", "", "RDFS statements file (optional)")
+		queryPath  = flag.String("queries", "", "workload file, one query per line (required)")
+		strategy   = flag.String("strategy", "dfs", "dfs|gstr|exnaive|exstr|pruning|greedy|heuristic")
+		reasoning  = flag.String("reasoning", "", "none|saturate|post|pre (default: post when a schema is present)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "search time budget (stoptime)")
+		answer     = flag.Bool("answer", false, "materialize the views and print each query's answers")
+		maxRows    = flag.Int("maxrows", 10, "max answer rows to print per query")
+	)
+	flag.Parse()
+	if *dataPath == "" || *queryPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	db := rdfviews.NewDatabase()
+	if err := loadFile(db, *dataPath, false); err != nil {
+		fatal(err)
+	}
+	if *schemaPath != "" {
+		if err := loadFile(db, *schemaPath, true); err != nil {
+			fatal(err)
+		}
+	}
+	queryText, err := os.ReadFile(*queryPath)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := db.ParseWorkload(string(queryText))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("database: %d triples, %d schema statements; workload: %d queries\n",
+		db.NumTriples(), db.SchemaSize(), w.Len())
+
+	rec, err := db.Recommend(w, rdfviews.Options{
+		Strategy:  rdfviews.Strategy(*strategy),
+		Reasoning: rdfviews.Reasoning(*reasoning),
+		Timeout:   *timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	res := rec.Result()
+	fmt.Printf("\nsearch: %d states created (%d duplicates, %d discarded) in %v\n",
+		res.Counters.Created, res.Counters.Duplicates, res.Counters.Discarded,
+		res.Duration.Round(time.Millisecond))
+	fmt.Printf("cost: %.4g -> %.4g  (relative cost reduction %.3f)\n",
+		rec.InitialCost().Total, rec.Cost().Total, rec.RCR())
+
+	fmt.Printf("\nrecommended views (%d):\n", rec.NumViews())
+	for _, v := range rec.ViewDefinitions() {
+		fmt.Println("  " + v)
+	}
+	fmt.Println("\nrewritings:")
+	for i, r := range rec.Rewritings() {
+		fmt.Printf("  q%d = %s\n", i+1, r)
+	}
+
+	if *answer {
+		mat, err := rec.Materialize()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nmaterialized %d rows (%d bytes)\n", mat.NumRows(), mat.SizeBytes())
+		for i := 0; i < w.Len(); i++ {
+			rows, err := mat.Answer(i)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nq%d: %d answers\n", i+1, len(rows))
+			for j, row := range rows {
+				if j >= *maxRows {
+					fmt.Printf("  ... (%d more)\n", len(rows)-j)
+					break
+				}
+				fmt.Printf("  %v\n", row)
+			}
+		}
+	}
+}
+
+func loadFile(db *rdfviews.Database, path string, schema bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if schema {
+		_, err = db.LoadSchema(f)
+	} else {
+		_, err = db.LoadGraph(f)
+	}
+	return err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rdfviews:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+package rdfviews_test
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rdfviews"
+)
+
+// The paper's running example: recommend views for the painter query and
+// answer it from the materialized views alone.
+func ExampleDatabase_Recommend() {
+	db := rdfviews.NewDatabase()
+	db.MustLoadGraphString(`
+u1 hasPainted starryNight .
+u1 isParentOf u2 .
+u2 hasPainted irises .
+u2 hasPainted sunflowers .
+`)
+	w := db.MustParseWorkload(
+		`q(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y), t(Y, hasPainted, Z)`)
+	rec, err := db.Recommend(w, rdfviews.Options{Timeout: 2 * time.Second})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	mat, err := rec.Materialize()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rows, _ := mat.Answer(0)
+	sort.Slice(rows, func(i, j int) bool { return rows[i][1] < rows[j][1] })
+	for _, r := range rows {
+		fmt.Println(r[0], "painted starryNight; child painted", r[1])
+	}
+	// Output:
+	// u1 painted starryNight; child painted irises
+	// u1 painted starryNight; child painted sunflowers
+}
+
+// Implicit triples: the schema makes every painting a picture, so the query
+// answers include resources never explicitly typed as pictures — computed
+// with post-reformulation, without saturating the database.
+func ExampleReasoningPost() {
+	db := rdfviews.NewDatabase()
+	db.MustLoadGraphString(`
+m1 rdf:type painting .
+m2 rdf:type picture .
+`)
+	db.MustLoadSchemaString(`painting rdfs:subClassOf picture .`)
+	w := db.MustParseWorkload(`q(X) :- t(X, rdf:type, picture)`)
+	rec, err := db.Recommend(w, rdfviews.Options{
+		Reasoning: rdfviews.ReasoningPost,
+		Timeout:   time.Second,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	mat, _ := rec.Materialize()
+	rows, _ := mat.Answer(0)
+	names := make([]string, 0, len(rows))
+	for _, r := range rows {
+		names = append(names, r[0])
+	}
+	sort.Strings(names)
+	fmt.Println(names)
+	// Output:
+	// [m1 m2]
+}

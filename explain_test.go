@@ -1,0 +1,46 @@
+package rdfviews
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExplainReportsViewsAndPlans(t *testing.T) {
+	db := paintersDB(t)
+	w := db.MustParseWorkload(paintersQuery + "\nq(A, B) :- t(A, hasPainted, B)")
+	rec, err := db.Recommend(w, Options{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := rec.ViewStats()
+	if len(vs) != rec.NumViews() {
+		t.Fatalf("ViewStats = %d, views = %d", len(vs), rec.NumViews())
+	}
+	for _, v := range vs {
+		if v.EstRows < 0 || v.EstBytes < 0 || v.Atoms <= 0 {
+			t.Errorf("bad view stat: %+v", v)
+		}
+		if !strings.Contains(v.Definition, "t(") {
+			t.Errorf("definition not rendered: %q", v.Definition)
+		}
+	}
+	ps := rec.PlanStats()
+	if len(ps) != 2 {
+		t.Fatalf("PlanStats = %d", len(ps))
+	}
+	for _, p := range ps {
+		if p.EstIO <= 0 {
+			t.Errorf("io estimate missing: %+v", p)
+		}
+		if p.Query == "" || p.Plan == "" {
+			t.Errorf("rendering missing: %+v", p)
+		}
+	}
+	report := rec.Explain()
+	for _, want := range []string{"search:", "cost:", "breakdown:", "views", "rewritings:", "rcr"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("Explain missing %q:\n%s", want, report)
+		}
+	}
+}

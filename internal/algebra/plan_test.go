@@ -1,0 +1,123 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"rdfviews/internal/cq"
+)
+
+func TestScanColumnsDedup(t *testing.T) {
+	x := cq.Var(1)
+	s := NewScan(1, []cq.Term{x, x, cq.Var(2)})
+	cols := s.Columns()
+	if len(cols) != 2 {
+		t.Fatalf("Columns = %v", cols)
+	}
+}
+
+func TestJoinColumnsShareLabels(t *testing.T) {
+	x, y, z := cq.Var(1), cq.Var(2), cq.Var(3)
+	j := NewJoin(NewScan(1, []cq.Term{x, y}), NewScan(2, []cq.Term{y, z}))
+	cols := j.Columns()
+	if len(cols) != 3 {
+		t.Fatalf("Columns = %v", cols)
+	}
+}
+
+func TestViewsCollectsRepetitions(t *testing.T) {
+	x := cq.Var(1)
+	u := NewUnion(NewScan(3, []cq.Term{x}), NewScan(3, []cq.Term{x}), NewScan(5, []cq.Term{x}))
+	ids := u.Views(nil)
+	if len(ids) != 3 {
+		t.Fatalf("Views = %v", ids)
+	}
+	sorted := SortedViewIDs(u)
+	if len(sorted) != 2 || sorted[0] != 3 || sorted[1] != 5 {
+		t.Fatalf("SortedViewIDs = %v", sorted)
+	}
+}
+
+func TestSubstituteViewsNested(t *testing.T) {
+	x, y := cq.Var(1), cq.Var(2)
+	inner := NewScan(1, []cq.Term{x, y})
+	plan := NewProject(
+		NewSelect(
+			NewUnion(inner, NewScan(2, []cq.Term{x, y})),
+			Cond{Left: x, Right: cq.Const(5)},
+		),
+		[]cq.Term{x},
+	)
+	repl := NewJoin(NewScan(7, []cq.Term{x}), NewScan(8, []cq.Term{x, y}))
+	out := SubstituteViews(plan, map[ViewID]Plan{1: repl})
+	ids := SortedViewIDs(out)
+	want := []ViewID{2, 7, 8}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	// Original plan untouched.
+	if got := SortedViewIDs(plan); len(got) != 2 {
+		t.Error("substitution mutated the original plan")
+	}
+}
+
+func TestScanRenamed(t *testing.T) {
+	x, y := cq.Var(1), cq.Var(2)
+	a, b := cq.Var(10), cq.Var(20)
+	head := []cq.Term{x, y, cq.Const(9)}
+	s := ScanRenamed(4, head, map[cq.Term]cq.Term{x: a, y: b})
+	if s.Cols[0] != a || s.Cols[1] != b {
+		t.Errorf("renamed cols = %v", s.Cols)
+	}
+	if s.Cols[2] != cq.Const(9) {
+		t.Error("constants must pass through renaming")
+	}
+}
+
+func TestPlanStrings(t *testing.T) {
+	x, y := cq.Var(1), cq.Var(2)
+	plans := []Plan{
+		NewScan(1, []cq.Term{x, y}),
+		NewSelect(NewScan(1, []cq.Term{x, y}), Cond{Left: x, Right: cq.Const(2)}),
+		NewProject(NewScan(1, []cq.Term{x, y}), []cq.Term{y}),
+		NewJoin(NewScan(1, []cq.Term{x}), NewScan(2, []cq.Term{x}), Cond{Left: x, Right: x}),
+		NewUnion(NewScan(1, []cq.Term{x}), NewScan(2, []cq.Term{x})),
+	}
+	for _, p := range plans {
+		s := p.String()
+		if s == "" || !strings.Contains(s, "v1") {
+			t.Errorf("String() = %q", s)
+		}
+	}
+	c := Cond{Left: x, Right: cq.Const(3)}
+	if c.String() != "X1=#3" {
+		t.Errorf("Cond.String = %q", c.String())
+	}
+}
+
+func TestUnionColumnsEmpty(t *testing.T) {
+	u := NewUnion()
+	if u.Columns() != nil {
+		t.Error("empty union columns should be nil")
+	}
+}
+
+func TestSubstituteViewsPanicsOnUnknownNode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown node type should panic")
+		}
+	}()
+	SubstituteViews(bogusPlan{}, nil)
+}
+
+type bogusPlan struct{}
+
+func (bogusPlan) Columns() []cq.Term        { return nil }
+func (bogusPlan) Views(d []ViewID) []ViewID { return d }
+func (bogusPlan) String() string            { return "bogus" }

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rdfviews/internal/cq"
+)
+
+func benchState(b *testing.B) (*State, *Ctx, []*cq.Query) {
+	b.Helper()
+	_, p, _ := paintersFixture(b)
+	var queries []*cq.Query
+	for i := 0; i < 3; i++ {
+		queries = append(queries, p.MustParseQuery(
+			"q(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y), t(Y, hasPainted, Z)"))
+		p.ResetNames()
+	}
+	s0, ctx, err := InitialState(queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s0, ctx, queries
+}
+
+func BenchmarkApplySC(b *testing.B) {
+	s0, ctx, _ := benchState(b)
+	var vid = s0.SortedViews()[0].ID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ctx.ApplySC(s0, vid, 0, 2) == nil {
+			b.Fatal("SC failed")
+		}
+	}
+}
+
+func BenchmarkApplyVB(b *testing.B) {
+	s0, ctx, _ := benchState(b)
+	var vid = s0.SortedViews()[0].ID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ctx.ApplyVB(s0, vid, 0b011, 0b110) == nil {
+			b.Fatal("VB failed")
+		}
+	}
+}
+
+func BenchmarkAVFClose(b *testing.B) {
+	s0, ctx, _ := benchState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fused := ctx.AVFClose(s0, nil)
+		if fused.NumViews() != 1 {
+			b.Fatal("fusion incomplete")
+		}
+	}
+}
+
+func BenchmarkStateCode(b *testing.B) {
+	s0, _, _ := benchState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Codes cache per state; rebuild the state view to measure the
+		// canonicalization path.
+		s := &State{Views: s0.Views, Plans: s0.Plans, Stage: s0.Stage}
+		_ = s.Code()
+	}
+}
+
+func BenchmarkDFSSearch300ms(b *testing.B) {
+	_, p, est := paintersFixture(b)
+	var queries []*cq.Query
+	for i := 0; i < 3; i++ {
+		queries = append(queries, p.MustParseQuery(
+			"q(X) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y), t(Y, rdf:type, painter)"))
+		p.ResetNames()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s0, ctx, err := InitialState(queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := Search(s0, ctx, Options{
+			Strategy: DFS, AVF: true, STV: true,
+			Timeout: 300 * time.Millisecond, Estimator: est,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Counters.Created), "states")
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sort"
+
+	"rdfviews/internal/cq"
+)
+
+// State-graph structure (Definition 3.1), derived on demand from a view's
+// body: nodes are atoms; join edges connect occurrences of a shared variable;
+// selection edges attach constants to atoms. Transitions are enumerated over
+// this structure.
+
+// selEdge is a selection edge: the constant at (atom, pos) of a view body.
+type selEdge struct {
+	atom, pos int
+}
+
+// selectionEdges lists the selection edges of a view body in atom/position
+// order.
+func selectionEdges(q *cq.Query) []selEdge {
+	var out []selEdge
+	for i, a := range q.Atoms {
+		for p := 0; p < 3; p++ {
+			if a[p].IsConst() {
+				out = append(out, selEdge{i, p})
+			}
+		}
+	}
+	return out
+}
+
+// occurrence is one position where a variable appears in a view body.
+type occurrence struct {
+	atom, pos int
+}
+
+// joinVarOccurrences maps each variable occurring at least twice in the body
+// to its occurrences, in a deterministic order of variables.
+func joinVarOccurrences(q *cq.Query) ([]cq.Term, map[cq.Term][]occurrence) {
+	occs := make(map[cq.Term][]occurrence)
+	var order []cq.Term
+	for i, a := range q.Atoms {
+		for p := 0; p < 3; p++ {
+			if !a[p].IsVar() {
+				continue
+			}
+			if _, seen := occs[a[p]]; !seen {
+				order = append(order, a[p])
+			}
+			occs[a[p]] = append(occs[a[p]], occurrence{i, p})
+		}
+	}
+	var joinVars []cq.Term
+	for _, v := range order {
+		if len(occs[v]) >= 2 {
+			joinVars = append(joinVars, v)
+		}
+	}
+	sort.Slice(joinVars, func(i, j int) bool { return joinVars[i] > joinVars[j] }) // ascending var number
+	return joinVars, occs
+}
+
+// atomAdjacency returns, for each atom, the bitmask of atoms sharing at
+// least one variable with it (excluding itself). Only valid for bodies with
+// at most 32 atoms, which covers every workload in the paper by an order of
+// magnitude.
+func atomAdjacency(q *cq.Query) []uint32 {
+	n := len(q.Atoms)
+	adj := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if q.Atoms[i].SharesVar(q.Atoms[j]) {
+				adj[i] |= 1 << uint(j)
+				adj[j] |= 1 << uint(i)
+			}
+		}
+	}
+	return adj
+}
+
+// maskConnected reports whether the atoms selected by mask induce a
+// connected subgraph of the view graph.
+func maskConnected(adj []uint32, mask uint32) bool {
+	if mask == 0 {
+		return false
+	}
+	// Start from the lowest set bit.
+	start := mask & (^mask + 1)
+	visited := start
+	frontier := start
+	for frontier != 0 {
+		next := uint32(0)
+		for f := frontier; f != 0; {
+			bit := f & (^f + 1)
+			f ^= bit
+			i := bitIndex(bit)
+			next |= adj[i] & mask &^ visited
+		}
+		visited |= next
+		frontier = next
+	}
+	return visited == mask
+}
+
+func bitIndex(bit uint32) int {
+	i := 0
+	for bit > 1 {
+		bit >>= 1
+		i++
+	}
+	return i
+}
+
+// subQuery extracts the atoms selected by mask into a new query with the
+// given head.
+func subQuery(q *cq.Query, mask uint32, head []cq.Term) *cq.Query {
+	var atoms []cq.Atom
+	for i, a := range q.Atoms {
+		if mask&(1<<uint(i)) != 0 {
+			atoms = append(atoms, a)
+		}
+	}
+	return &cq.Query{Head: append([]cq.Term(nil), head...), Atoms: atoms}
+}
+
+// maskVars returns the set of variables occurring in the atoms of mask.
+func maskVars(q *cq.Query, mask uint32) map[cq.Term]struct{} {
+	out := make(map[cq.Term]struct{})
+	for i, a := range q.Atoms {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		for _, t := range a {
+			if t.IsVar() {
+				out[t] = struct{}{}
+			}
+		}
+	}
+	return out
+}

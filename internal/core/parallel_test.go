@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rdfviews/internal/cq"
+)
+
+func TestPartitionWorkload(t *testing.T) {
+	_, p, _ := paintersFixture(t)
+	q1 := p.MustParseQuery("q(X) :- t(X, hasPainted, starryNight)")
+	p.ResetNames()
+	q2 := p.MustParseQuery("q(A) :- t(A, hasPainted, B)") // shares no shape with q1 (const differs)
+	p.ResetNames()
+	q3 := p.MustParseQuery("q(C) :- t(C, isParentOf, D)")
+	p.ResetNames()
+	q4 := p.MustParseQuery("q(E) :- t(E, hasPainted, starryNight), t(E, isParentOf, F)") // bridges q1 and q3
+	groups := PartitionWorkload([]*cq.Query{q1, q2, q3, q4})
+	// q1 and q4 share (.., hasPainted, starryNight); q3 and q4 share
+	// (.., isParentOf, ..): one group {0, 2, 3}. q2's shape
+	// (.., hasPainted, ..) appears nowhere else: singleton {1}.
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	var big, small []int
+	for _, g := range groups {
+		if len(g) > 1 {
+			big = g
+		} else {
+			small = g
+		}
+	}
+	if len(big) != 3 || big[0] != 0 || big[1] != 2 || big[2] != 3 {
+		t.Errorf("big group = %v", big)
+	}
+	if len(small) != 1 || small[0] != 1 {
+		t.Errorf("small group = %v", small)
+	}
+}
+
+func TestPartitionSingleGroupWhenShared(t *testing.T) {
+	_, p, _ := paintersFixture(t)
+	q1 := p.MustParseQuery("q(X) :- t(X, hasPainted, Y)")
+	p.ResetNames()
+	q2 := p.MustParseQuery("q(A) :- t(A, hasPainted, B)")
+	groups := PartitionWorkload([]*cq.Query{q1, q2})
+	if len(groups) != 1 || len(groups[0]) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+}
+
+func TestSearchParallelEquivalentAnswers(t *testing.T) {
+	st, p, est := paintersFixture(t)
+	// q1 shares no atom shape with q2/q3; q2 and q3 share rdf:type painter.
+	q1 := p.MustParseQuery("q(X, Z) :- t(X, hasPainted, starryNight), t(X, hasPainted, Z)")
+	p.ResetNames()
+	q2 := p.MustParseQuery("q(A) :- t(A, rdf:type, painter)")
+	p.ResetNames()
+	q3 := p.MustParseQuery("q(B) :- t(B, rdf:type, painter), t(C, isParentOf, B)")
+	queries := []*cq.Query{q1, q2, q3}
+
+	res, err := SearchParallel(queries, Options{
+		Strategy: DFS, AVF: true, STV: true,
+		Timeout: 2 * time.Second, Estimator: est,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) < 2 {
+		t.Fatalf("expected ≥2 groups, got %v", res.Groups)
+	}
+	if res.Best == nil || len(res.Best.Plans) != 3 {
+		t.Fatal("combined state incomplete")
+	}
+	// Every query's rewriting over the combined views answers correctly.
+	checkStateAnswers(t, st, res.Best, queries)
+	if res.RCR() < 0 {
+		t.Errorf("rcr = %v", res.RCR())
+	}
+}
+
+// TestSearchParallelCostAdditivity: the combined state's cost equals the sum
+// of the per-group bests (view sets are disjoint, the cost function is
+// additive), making the parallel result directly comparable to a sequential
+// search.
+func TestSearchParallelCostAdditivity(t *testing.T) {
+	_, p, est := paintersFixture(t)
+	q1 := p.MustParseQuery("q(X) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y)")
+	p.ResetNames()
+	q2 := p.MustParseQuery("q(A) :- t(A, rdf:type, painter)")
+	queries := []*cq.Query{q1, q2}
+
+	opts := Options{Strategy: DFS, AVF: true, STV: true, Timeout: 2 * time.Second, Estimator: est}
+	par, err := SearchParallel(queries, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, group := range par.Groups {
+		sub := make([]*cq.Query, len(group))
+		for k, qi := range group {
+			sub[k] = queries[qi]
+		}
+		s0, ctx, err := InitialState(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Search(s0, ctx, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.BestCost.Total
+	}
+	if math.Abs(par.BestCost.Total-sum) > 1e-6*math.Max(1, sum) {
+		t.Errorf("combined cost %v != sum of groups %v", par.BestCost.Total, sum)
+	}
+}
+
+func TestSearchParallelRejectsRelational(t *testing.T) {
+	_, p, est := paintersFixture(t)
+	q := p.MustParseQuery("q(X) :- t(X, hasPainted, Y)")
+	if _, err := SearchParallel([]*cq.Query{q}, Options{Strategy: RelGreedy, Estimator: est}, 1); err == nil {
+		t.Fatal("relational strategies must be rejected")
+	}
+	if _, err := SearchParallel([]*cq.Query{q}, Options{Strategy: DFS}, 1); err == nil {
+		t.Fatal("missing estimator must be rejected")
+	}
+}

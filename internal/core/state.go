@@ -1,0 +1,256 @@
+// Package core implements the paper's primary contribution: view selection
+// for Semantic Web databases as a search problem in a space of states
+// (Section 3), with the four transitions View Break, Selection Cut, Join Cut
+// and View Fusion (Definitions 3.2–3.5), the exhaustive, stratified,
+// depth-first and greedy search strategies with the AVF and stop-condition
+// heuristics (Section 5), and the relational competitor strategies of
+// Theodoratos et al. [21] used as baselines in Section 6.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rdfviews/internal/algebra"
+	"rdfviews/internal/cost"
+	"rdfviews/internal/cq"
+)
+
+// View is one candidate materialized view: a conjunctive query with a state-
+// unique ID and cached canonical codes.
+type View struct {
+	ID algebra.ViewID
+	Q  *cq.Query
+
+	code     string // canonical code incl. head (state equality, Def. §3.1)
+	bodyCode string // canonical code of the body only (View Fusion prefilter)
+
+	vbOnce  bool
+	vbPairs [][2]uint32 // cached View Break cover pairs (see enumVB)
+}
+
+// NewView builds a view, computing its canonical codes.
+func NewView(id algebra.ViewID, q *cq.Query) *View {
+	v := &View{ID: id, Q: q}
+	v.code = q.CanonicalCode()
+	v.bodyCode = (&cq.Query{Atoms: q.Atoms}).CanonicalCode()
+	return v
+}
+
+// Code returns the canonical code of the view (body + head set).
+func (v *View) Code() string { return v.code }
+
+// BodyCode returns the canonical code of the body only. Two views are
+// fusable (bodies equivalent up to renaming, Definition 3.5) iff their body
+// codes are equal, since views are kept minimal.
+func (v *View) BodyCode() string { return v.bodyCode }
+
+// vbCandidates lazily computes the valid View Break cover pairs of the body:
+// (mask1, mask2) over atoms with mask1 ∪ mask2 = all, both induced subgraphs
+// connected, neither mask containing the other, and atom 0 ∈ mask1 (swap
+// symmetry). Bodies of more than 20 atoms are skipped (the enumeration is
+// Θ(3^n); no paper workload exceeds 10 atoms per query).
+func (v *View) vbCandidates() [][2]uint32 {
+	if v.vbOnce {
+		return v.vbPairs
+	}
+	v.vbOnce = true
+	n := len(v.Q.Atoms)
+	if n <= 2 || n > 20 {
+		return nil
+	}
+	adj := atomAdjacency(v.Q)
+	full := uint32(1)<<uint(n) - 1
+	for m1 := uint32(1); m1 < full; m1 += 2 { // bit 0 always set
+		if !maskConnected(adj, m1) {
+			continue
+		}
+		rest := full &^ m1 // non-empty since m1 < full
+		// extra ranges over the proper subsets of m1 (the overlap);
+		// extra == m1 would make mask2 ⊇ mask1.
+		extra := m1
+		for {
+			extra = (extra - 1) & m1
+			m2 := rest | extra
+			if maskConnected(adj, m2) {
+				v.vbPairs = append(v.vbPairs, [2]uint32{m1, m2})
+			}
+			if extra == 0 {
+				break
+			}
+		}
+	}
+	return v.vbPairs
+}
+
+// Stage tags how far along the stratified order VB ≤ SC ≤ JC ≤ VF a state's
+// construction path has advanced (Definition 5.3: paths in VB* SC* JC* VF*).
+type Stage uint8
+
+// The four transition kinds in stratification order.
+const (
+	StageVB Stage = iota
+	StageSC
+	StageJC
+	StageVF
+)
+
+func (st Stage) String() string {
+	switch st {
+	case StageVB:
+		return "VB"
+	case StageSC:
+		return "SC"
+	case StageJC:
+		return "JC"
+	case StageVF:
+		return "VF"
+	}
+	return fmt.Sprintf("Stage(%d)", uint8(st))
+}
+
+// State is a candidate view set ⟨V, R⟩ (Definition 2.3): a multiset of views
+// plus exactly one rewriting plan per workload query. States are immutable;
+// transitions derive new states sharing unchanged views and plan subtrees.
+type State struct {
+	Views map[algebra.ViewID]*View
+	// Plans holds one rewriting per workload query, in workload order.
+	Plans []algebra.Plan
+	// Stage is the stratification tag of the path that reached this state.
+	Stage Stage
+
+	code     string
+	codeOnce bool
+	cb       cost.Breakdown
+	cbOnce   bool
+}
+
+// Code returns the canonical code of the state: the sorted multiset of its
+// views' canonical codes. Two states are equivalent iff they have the same
+// view sets (Section 3.1), so equal codes identify duplicate states.
+func (s *State) Code() string {
+	if s.codeOnce {
+		return s.code
+	}
+	codes := make([]string, 0, len(s.Views))
+	for _, v := range s.Views {
+		codes = append(codes, v.Code())
+	}
+	sort.Strings(codes)
+	s.code = strings.Join(codes, "\n")
+	s.codeOnce = true
+	return s.code
+}
+
+// ViewQueries exposes the view definitions keyed by ID, the shape the cost
+// estimator consumes.
+func (s *State) ViewQueries() map[algebra.ViewID]*cq.Query {
+	out := make(map[algebra.ViewID]*cq.Query, len(s.Views))
+	for id, v := range s.Views {
+		out[id] = v.Q
+	}
+	return out
+}
+
+// Cost returns (cached) the cost breakdown of the state under the estimator.
+func (s *State) Cost(e *cost.Estimator) cost.Breakdown {
+	if s.cbOnce {
+		return s.cb
+	}
+	s.cb = e.CostState(s.ViewQueries(), s.Plans)
+	s.cbOnce = true
+	return s.cb
+}
+
+// NumViews returns the number of views.
+func (s *State) NumViews() int { return len(s.Views) }
+
+// AvgAtomsPerView returns the average number of atoms per view, the measure
+// reported at the end of Section 6.4 (DFS ≈ 3.2, GSTR ≈ 6.5).
+func (s *State) AvgAtomsPerView() float64 {
+	if len(s.Views) == 0 {
+		return 0
+	}
+	total := 0
+	for _, v := range s.Views {
+		total += v.Q.Len()
+	}
+	return float64(total) / float64(len(s.Views))
+}
+
+// SortedViews returns the views sorted by ID, for deterministic enumeration.
+func (s *State) SortedViews() []*View {
+	out := make([]*View, 0, len(s.Views))
+	for _, v := range s.Views {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// HasAllVariableView reports whether some view has no constants at all —
+// the stopvar stop condition (Section 5.2).
+func (s *State) HasAllVariableView() bool {
+	for _, v := range s.Views {
+		if v.Q.ConstCount() == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// HasTripleTableView reports whether some view is the full triple table t —
+// a single all-variable atom with all three variables distinct — the stoptt
+// stop condition (Section 5.2).
+func (s *State) HasTripleTableView() bool {
+	for _, v := range s.Views {
+		q := v.Q
+		if len(q.Atoms) != 1 {
+			continue
+		}
+		a := q.Atoms[0]
+		if a[0].IsVar() && a[1].IsVar() && a[2].IsVar() &&
+			a[0] != a[1] && a[1] != a[2] && a[0] != a[2] {
+			return true
+		}
+	}
+	return false
+}
+
+// derive builds a successor state: views in removed are dropped, views in
+// added inserted, every plan rewritten through subs, and the stage raised to
+// at least minStage.
+func (s *State) derive(removed []algebra.ViewID, added []*View, subs map[algebra.ViewID]algebra.Plan, minStage Stage) *State {
+	nv := make(map[algebra.ViewID]*View, len(s.Views)+len(added)-len(removed))
+	for id, v := range s.Views {
+		nv[id] = v
+	}
+	for _, id := range removed {
+		delete(nv, id)
+	}
+	for _, v := range added {
+		nv[v.ID] = v
+	}
+	np := make([]algebra.Plan, len(s.Plans))
+	for i, p := range s.Plans {
+		np[i] = algebra.SubstituteViews(p, subs)
+	}
+	stage := s.Stage
+	if minStage > stage {
+		stage = minStage
+	}
+	return &State{Views: nv, Plans: np, Stage: stage}
+}
+
+// Format renders the state for debugging: each view and each rewriting.
+func (s *State) Format() string {
+	var sb strings.Builder
+	for _, v := range s.SortedViews() {
+		fmt.Fprintf(&sb, "v%d: %s\n", int(v.ID), v.Q)
+	}
+	for i, p := range s.Plans {
+		fmt.Fprintf(&sb, "r%d = %s\n", i+1, p)
+	}
+	return sb.String()
+}

@@ -1,0 +1,168 @@
+package cost
+
+import (
+	"math"
+
+	"rdfviews/internal/algebra"
+	"rdfviews/internal/cq"
+)
+
+// PlanCosting carries the estimated execution profile of a rewriting plan.
+type PlanCosting struct {
+	// Card is the estimated output cardinality.
+	Card float64
+	// IO is Σ |v|ε over the views scanned by the plan (ioε of Section 3.3).
+	IO float64
+	// CPU sums the costs of selections and joins (cpuε). Projections are
+	// free: they are applied on the fly while streaming, which preserves the
+	// paper's invariant that View Fusion never increases query cost.
+	CPU float64
+
+	cols map[cq.Term]colInfo
+}
+
+// colInfo tracks, per output column, the triple-table column it derives from
+// and its estimated number of distinct values.
+type colInfo struct {
+	pos      int
+	distinct float64
+}
+
+// PlanCost estimates the execution cost of a rewriting plan against the view
+// definitions it scans, using hash-join accounting: build + probe + output.
+func (e *Estimator) PlanCost(p algebra.Plan, views map[algebra.ViewID]*cq.Query) PlanCosting {
+	switch n := p.(type) {
+	case *algebra.Scan:
+		return e.scanCost(n, views)
+	case *algebra.Select:
+		return e.selectCost(n, views)
+	case *algebra.Project:
+		in := e.PlanCost(n.Input, views)
+		cols := make(map[cq.Term]colInfo, len(n.Cols))
+		for _, c := range n.Cols {
+			if ci, ok := in.cols[c]; ok {
+				cols[c] = ci
+			}
+		}
+		return PlanCosting{Card: in.Card, IO: in.IO, CPU: in.CPU, cols: cols}
+	case *algebra.Join:
+		return e.joinCost(n, views)
+	case *algebra.Union:
+		out := PlanCosting{cols: map[cq.Term]colInfo{}}
+		for i, b := range n.Branches {
+			bc := e.PlanCost(b, views)
+			out.Card += bc.Card
+			out.IO += bc.IO
+			out.CPU += bc.CPU
+			if i == 0 {
+				out.cols = bc.cols
+			}
+		}
+		// Deduplicating the union touches every produced tuple once.
+		out.CPU += out.Card
+		return out
+	default:
+		return PlanCosting{cols: map[cq.Term]colInfo{}}
+	}
+}
+
+func (e *Estimator) scanCost(n *algebra.Scan, views map[algebra.ViewID]*cq.Query) PlanCosting {
+	v, ok := views[n.View]
+	if !ok {
+		// Unknown view: treat as empty. Search invariants prevent this.
+		return PlanCosting{cols: map[cq.Term]colInfo{}}
+	}
+	card := e.ViewCardinality(v)
+	cols := make(map[cq.Term]colInfo, len(n.Cols))
+	for i, label := range n.Cols {
+		if i >= len(v.Head) {
+			break
+		}
+		pos := firstBodyColumn(v, v.Head[i])
+		cols[label] = colInfo{pos: pos, distinct: e.colDistinct(pos, card)}
+	}
+	return PlanCosting{Card: card, IO: card, cols: cols}
+}
+
+func (e *Estimator) selectCost(n *algebra.Select, views map[algebra.ViewID]*cq.Query) PlanCosting {
+	in := e.PlanCost(n.Input, views)
+	// Inspect every input tuple.
+	cpu := in.CPU + in.Card
+	card := in.Card
+	cols := make(map[cq.Term]colInfo, len(in.cols))
+	for k, v := range in.cols {
+		cols[k] = v
+	}
+	for _, c := range n.Conds {
+		li, ok := cols[c.Left]
+		if !ok {
+			li = colInfo{pos: 2, distinct: math.Max(card, 1)}
+		}
+		if c.Right.IsConst() {
+			sel := 1 / math.Max(li.distinct, 1)
+			card *= sel
+			cols[c.Left] = colInfo{pos: li.pos, distinct: 1}
+			continue
+		}
+		ri, ok := cols[c.Right]
+		if !ok {
+			ri = colInfo{pos: 2, distinct: math.Max(card, 1)}
+		}
+		card /= math.Max(math.Max(li.distinct, ri.distinct), 1)
+		d := math.Min(li.distinct, ri.distinct)
+		cols[c.Left] = colInfo{pos: li.pos, distinct: d}
+		cols[c.Right] = colInfo{pos: ri.pos, distinct: d}
+	}
+	// Cap distinct counts by the reduced cardinality.
+	for k, v := range cols {
+		if v.distinct > card {
+			cols[k] = colInfo{pos: v.pos, distinct: math.Max(card, 1)}
+		}
+	}
+	return PlanCosting{Card: card, IO: in.IO, CPU: cpu, cols: cols}
+}
+
+func (e *Estimator) joinCost(n *algebra.Join, views map[algebra.ViewID]*cq.Query) PlanCosting {
+	l := e.PlanCost(n.Left, views)
+	r := e.PlanCost(n.Right, views)
+	card := l.Card * r.Card
+	// Natural-join keys: labels present on both sides.
+	for label, li := range l.cols {
+		if !label.IsVar() {
+			continue
+		}
+		if ri, ok := r.cols[label]; ok {
+			card /= math.Max(math.Max(li.distinct, ri.distinct), 1)
+		}
+	}
+	// Explicit cross conditions (Join Cut's ⊳⊲e).
+	for _, c := range n.Conds {
+		li, lok := l.cols[c.Left]
+		ri, rok := r.cols[c.Right]
+		dl, dr := math.Max(l.Card, 1), math.Max(r.Card, 1)
+		if lok {
+			dl = li.distinct
+		}
+		if rok {
+			dr = ri.distinct
+		}
+		card /= math.Max(math.Max(dl, dr), 1)
+	}
+	// Hash join: build the smaller side, probe the larger, emit the output.
+	cpu := l.CPU + r.CPU + math.Min(l.Card, r.Card) + math.Max(l.Card, r.Card) + card
+	cols := make(map[cq.Term]colInfo, len(l.cols)+len(r.cols))
+	for k, v := range l.cols {
+		cols[k] = v
+	}
+	for k, v := range r.cols {
+		if _, ok := cols[k]; !ok {
+			cols[k] = v
+		}
+	}
+	for k, v := range cols {
+		if v.distinct > card {
+			cols[k] = colInfo{pos: v.pos, distinct: math.Max(card, 1)}
+		}
+	}
+	return PlanCosting{Card: card, IO: l.IO + r.IO, CPU: cpu, cols: cols}
+}

@@ -1,0 +1,209 @@
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Canonical codes: a string representation invariant under variable renaming
+// and atom reordering. Two queries have the same canonical code iff they are
+// identical up to a bijective variable renaming (with heads compared as
+// sets). The search uses these codes to detect duplicate states — Section 5
+// reports duplicate detection as essential ("our algorithm identifies such
+// states as soon as they are created") — and reformulation uses them to
+// deduplicate union terms.
+//
+// The algorithm is a branch-and-bound canonical labeling: atoms are emitted
+// one at a time; at each step only the atoms whose serialization (under the
+// variable numbering fixed so far, with fresh numbers assigned in position
+// order) is lexicographically minimal are candidates. Because atom codes are
+// prefix-free, the greedy choice is sound, and branching is needed only on
+// ties (symmetries). Typical view sizes are ≤ 10–15 atoms, where this is
+// fast.
+
+// CanonicalCode returns the canonical code of the query.
+func (q *Query) CanonicalCode() string {
+	code, _ := canonicalize(q)
+	return code
+}
+
+// CanonicalizeVars returns an equivalent query with variables renumbered
+// 1..k in canonical order and atoms sorted canonically. Queries identical up
+// to variable renaming canonicalize to structurally equal queries (up to
+// head order, which is preserved positionally from q).
+func (q *Query) CanonicalizeVars() *Query {
+	_, m := canonicalize(q)
+	out := q.RenameVars(m)
+	sort.Slice(out.Atoms, func(i, j int) bool {
+		return atomLess(out.Atoms[i], out.Atoms[j])
+	})
+	return out
+}
+
+func atomLess(a, b Atom) bool {
+	for p := 0; p < 3; p++ {
+		if a[p] != b[p] {
+			return a[p] > b[p] // variables are negative: sort by canonical number ascending
+		}
+	}
+	return false
+}
+
+type canonCtx struct {
+	q        *Query
+	used     []bool
+	varNum   map[Term]int
+	assigned []Term // assignment order; varNum[assigned[i]] == i+1
+
+	parts []string
+
+	bestBody string // best body code found so far ("" = none)
+	bestFull string // bestBody + head suffix
+	bestMap  map[Term]Term
+}
+
+func canonicalize(q *Query) (string, map[Term]Term) {
+	ctx := &canonCtx{
+		q:      q,
+		used:   make([]bool, len(q.Atoms)),
+		varNum: make(map[Term]int),
+	}
+	ctx.rec()
+	return ctx.bestFull, ctx.bestMap
+}
+
+// serializeAtom renders atom ai under the current numbering, assigning
+// temporary numbers (without committing) to unseen variables in position
+// order. It returns the code and how many fresh variables it would assign.
+func (c *canonCtx) serializeAtom(ai int) string {
+	a := c.q.Atoms[ai]
+	next := len(c.assigned) + 1
+	tmp := make(map[Term]int, 3)
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for p := 0; p < 3; p++ {
+		if p > 0 {
+			sb.WriteByte(',')
+		}
+		t := a[p]
+		if t.IsConst() {
+			fmt.Fprintf(&sb, "#%d", int64(t))
+			continue
+		}
+		n, ok := c.varNum[t]
+		if !ok {
+			n, ok = tmp[t]
+			if !ok {
+				n = next
+				next++
+				tmp[t] = n
+			}
+		}
+		fmt.Fprintf(&sb, "?%d", n)
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+func (c *canonCtx) rec() {
+	if len(c.parts) == len(c.q.Atoms) {
+		body := strings.Join(c.parts, "")
+		if c.bestBody != "" && body > c.bestBody {
+			return
+		}
+		full := body + c.headSuffix()
+		if c.bestBody == "" || body < c.bestBody || (body == c.bestBody && full < c.bestFull) {
+			c.bestBody, c.bestFull = body, full
+			m := make(map[Term]Term, len(c.varNum))
+			for v, n := range c.varNum {
+				m[v] = Var(n)
+			}
+			c.bestMap = m
+		}
+		return
+	}
+	// Find the minimal next-atom code among unused atoms.
+	minCode := ""
+	var cands []int
+	for ai := range c.q.Atoms {
+		if c.used[ai] {
+			continue
+		}
+		code := c.serializeAtom(ai)
+		switch {
+		case minCode == "" || code < minCode:
+			minCode = code
+			cands = cands[:0]
+			cands = append(cands, ai)
+		case code == minCode:
+			cands = append(cands, ai)
+		}
+	}
+	// Prefix bound: if the body built so far plus the next code is already
+	// lexicographically above the best body on the comparable prefix, no
+	// completion can win. (Codes are prefix-free, so this is sound.)
+	if c.bestBody != "" {
+		prefix := strings.Join(c.parts, "") + minCode
+		l := len(prefix)
+		if len(c.bestBody) < l {
+			l = len(c.bestBody)
+		}
+		if prefix[:l] > c.bestBody[:l] {
+			return
+		}
+	}
+	for _, ai := range cands {
+		// Commit: assign numbers to the atom's unseen vars in position order.
+		var fresh []Term
+		for p := 0; p < 3; p++ {
+			t := c.q.Atoms[ai][p]
+			if t.IsVar() {
+				if _, ok := c.varNum[t]; !ok {
+					c.assigned = append(c.assigned, t)
+					c.varNum[t] = len(c.assigned)
+					fresh = append(fresh, t)
+				}
+			}
+		}
+		c.used[ai] = true
+		c.parts = append(c.parts, minCode)
+		c.rec()
+		c.parts = c.parts[:len(c.parts)-1]
+		c.used[ai] = false
+		for _, t := range fresh {
+			delete(c.varNum, t)
+		}
+		c.assigned = c.assigned[:len(c.assigned)-len(fresh)]
+	}
+}
+
+// headSuffix serializes the head as a sorted set under the final numbering.
+// Heads are treated as sets here: two views differing only in head column
+// order denote the same stored relation.
+func (c *canonCtx) headSuffix() string {
+	toks := make([]string, 0, len(c.q.Head))
+	seen := make(map[string]struct{}, len(c.q.Head))
+	for _, t := range c.q.Head {
+		var s string
+		if t.IsConst() {
+			s = fmt.Sprintf("#%d", int64(t))
+		} else {
+			n, ok := c.varNum[t]
+			if !ok {
+				// Head variable not in body: Validate rejects this, but keep
+				// the code total rather than panicking mid-search.
+				s = "?free"
+			} else {
+				s = fmt.Sprintf("?%d", n)
+			}
+		}
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		toks = append(toks, s)
+	}
+	sort.Strings(toks)
+	return "H[" + strings.Join(toks, ",") + "]"
+}

@@ -1,0 +1,214 @@
+package cq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCanonicalCodeInvariantUnderRenaming(t *testing.T) {
+	p := newTestParser()
+	q1 := p.MustParseQuery("q(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y), t(Y, hasPainted, Z)")
+	p.ResetNames()
+	q2 := p.MustParseQuery("q(A, C) :- t(B, hasPainted, C), t(A, isParentOf, B), t(A, hasPainted, starryNight)")
+	if q1.CanonicalCode() != q2.CanonicalCode() {
+		t.Errorf("codes differ:\n%s\n%s", q1.CanonicalCode(), q2.CanonicalCode())
+	}
+}
+
+func TestCanonicalCodeDistinguishesStructure(t *testing.T) {
+	p := newTestParser()
+	chain := p.MustParseQuery("q(X) :- t(X, p, Y), t(Y, p, Z)")
+	p.ResetNames()
+	star := p.MustParseQuery("q(X) :- t(X, p, Y), t(X, p, Z)")
+	if chain.CanonicalCode() == star.CanonicalCode() {
+		t.Error("chain and star must have different codes")
+	}
+	p.ResetNames()
+	withConst := p.MustParseQuery("q(X) :- t(X, p, c1)")
+	p.ResetNames()
+	withOther := p.MustParseQuery("q(X) :- t(X, p, c2)")
+	if withConst.CanonicalCode() == withOther.CanonicalCode() {
+		t.Error("different constants must have different codes")
+	}
+}
+
+func TestCanonicalCodeDistinguishesHeads(t *testing.T) {
+	p := newTestParser()
+	q1 := p.MustParseQuery("q(X) :- t(X, p, Y)")
+	q2 := &Query{Head: []Term{q1.Head[0], q1.Atoms[0][2]}, Atoms: q1.Atoms}
+	if q1.CanonicalCode() == q2.CanonicalCode() {
+		t.Error("head sets differ, codes must differ")
+	}
+	// Head order must NOT matter (heads are column sets).
+	q3 := &Query{Head: []Term{q1.Atoms[0][2], q1.Head[0]}, Atoms: q1.Atoms}
+	if q2.CanonicalCode() != q3.CanonicalCode() {
+		t.Error("head order must not change the code")
+	}
+}
+
+func TestCanonicalCodeSymmetricQuery(t *testing.T) {
+	p := newTestParser()
+	// Highly symmetric: a 3-cycle. All rotations/renamings must agree.
+	q1 := p.MustParseQuery("q(X) :- t(X, p, Y), t(Y, p, Z), t(Z, p, X)")
+	p.ResetNames()
+	q2 := p.MustParseQuery("q(B) :- t(A, p, B), t(B, p, C), t(C, p, A)")
+	if q1.CanonicalCode() != q2.CanonicalCode() {
+		t.Error("cycle rotations must share a code")
+	}
+}
+
+func TestCanonicalizeVarsStable(t *testing.T) {
+	p := newTestParser()
+	q := p.MustParseQuery("q(X, Z) :- t(X, isParentOf, Y), t(Y, hasPainted, Z)")
+	c1 := q.CanonicalizeVars()
+	c2 := c1.CanonicalizeVars()
+	if c1.CanonicalCode() != q.CanonicalCode() {
+		t.Error("CanonicalizeVars changed the code")
+	}
+	if len(c1.Atoms) != len(c2.Atoms) {
+		t.Fatal("shape changed")
+	}
+	for i := range c1.Atoms {
+		if c1.Atoms[i] != c2.Atoms[i] {
+			t.Errorf("canonicalization not idempotent at atom %d", i)
+		}
+	}
+	if !Equivalent(q, c1) {
+		t.Error("CanonicalizeVars must preserve equivalence")
+	}
+}
+
+func TestCanonicalCodeMatchesIsomorphismProperty(t *testing.T) {
+	// Property: code(q1) == code(q2) iff bodies isomorphic with same head
+	// sets (as head positions are sets in codes, align heads to full vars).
+	rng := rand.New(rand.NewSource(99))
+	p := newTestParser()
+	var qs []*Query
+	for i := 0; i < 40; i++ {
+		q := randomQuery(rng, p, 1+rng.Intn(4))
+		// Use all variables in head to make head-set comparison trivial.
+		q = &Query{Head: q.Vars(), Atoms: q.Atoms}
+		qs = append(qs, q)
+	}
+	for i := 0; i < len(qs); i++ {
+		for j := i + 1; j < len(qs); j++ {
+			iso := BodyIsomorphism(qs[i], qs[j]) != nil &&
+				len(qs[i].Vars()) == len(qs[j].Vars())
+			same := qs[i].CanonicalCode() == qs[j].CanonicalCode()
+			if iso != same {
+				t.Fatalf("code/iso mismatch (iso=%v same=%v):\n%v -> %s\n%v -> %s",
+					iso, same, qs[i], qs[i].CanonicalCode(), qs[j], qs[j].CanonicalCode())
+			}
+		}
+	}
+}
+
+func TestCanonicalCodeRandomRenamingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := newTestParser()
+	for i := 0; i < 60; i++ {
+		q := randomQuery(rng, p, 1+rng.Intn(6))
+		// Random permutation of atoms + random renaming offset.
+		perm := rng.Perm(len(q.Atoms))
+		atoms := make([]Atom, len(q.Atoms))
+		for k, pi := range perm {
+			atoms[k] = q.Atoms[pi]
+		}
+		m := map[Term]Term{}
+		off := 1 + rng.Intn(5000)
+		for _, v := range q.Vars() {
+			m[v] = Var(v.VarNum() + off)
+		}
+		r := (&Query{Head: q.Head, Atoms: atoms}).RenameVars(m)
+		if q.CanonicalCode() != r.CanonicalCode() {
+			t.Fatalf("code not invariant:\n%v\n%v", q, r)
+		}
+	}
+}
+
+func TestUCQDedup(t *testing.T) {
+	p := newTestParser()
+	q1 := p.MustParseQuery("q(X) :- t(X, rdf:type, picture)")
+	p.ResetNames()
+	q1b := p.MustParseQuery("q(A) :- t(A, rdf:type, picture)")
+	p.ResetNames()
+	q2 := p.MustParseQuery("q(A) :- t(A, rdf:type, painting)")
+	u := NewUCQ()
+	if !u.Add(q1) {
+		t.Error("first add should be new")
+	}
+	if u.Add(q1b) {
+		t.Error("renamed duplicate must be rejected")
+	}
+	if !u.Add(q2) {
+		t.Error("distinct query should be added")
+	}
+	if u.Len() != 2 {
+		t.Errorf("Len = %d", u.Len())
+	}
+	if !u.Contains(q1b) || u.Contains(p.MustParseQuery("q(B) :- t(B, rdf:type, other)")) {
+		t.Error("Contains wrong")
+	}
+	if u.TotalAtoms() != 2 {
+		t.Errorf("TotalAtoms = %d", u.TotalAtoms())
+	}
+	if u.TotalConstants() != 4 { // rdf:type + class, twice
+		t.Errorf("TotalConstants = %d", u.TotalConstants())
+	}
+	if u.Format(p.Dict) == "" {
+		t.Error("Format empty")
+	}
+}
+
+func TestMinimizePaperStyle(t *testing.T) {
+	p := newTestParser()
+	// t(X,p,Y), t(X,p,Z) with head X: Z folds onto Y.
+	q := p.MustParseQuery("q(X) :- t(X, p, Y), t(X, p, Z)")
+	m := q.Minimize()
+	if len(m.Atoms) != 1 {
+		t.Fatalf("Minimize left %d atoms, want 1", len(m.Atoms))
+	}
+	if !Equivalent(q, m) {
+		t.Error("Minimize must preserve equivalence")
+	}
+	// With both Y and Z in head, the query is already minimal.
+	q2 := p.MustParseQuery("q(X, Y, Z) :- t(X, p, Y), t(X, p, Z)")
+	if got := q2.Minimize(); len(got.Atoms) != 2 {
+		t.Errorf("minimal query shrank to %d atoms", len(got.Atoms))
+	}
+	if !q2.IsMinimal() {
+		t.Error("IsMinimal false negative")
+	}
+	if q.IsMinimal() {
+		t.Error("IsMinimal false positive")
+	}
+}
+
+func TestMinimizeDedupsAtoms(t *testing.T) {
+	q := &Query{
+		Head:  []Term{Var(1)},
+		Atoms: []Atom{{Var(1), Const(2), Var(3)}, {Var(1), Const(2), Var(3)}},
+	}
+	if got := q.Minimize(); len(got.Atoms) != 1 {
+		t.Errorf("duplicate atoms survived: %d", len(got.Atoms))
+	}
+}
+
+func TestMinimizePreservesEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := newTestParser()
+	for i := 0; i < 60; i++ {
+		q := randomQuery(rng, p, 1+rng.Intn(6))
+		m := q.Minimize()
+		if !Equivalent(q, m) {
+			t.Fatalf("Minimize broke equivalence:\n%v\n%v", q, m)
+		}
+		if len(m.Atoms) > len(q.Atoms) {
+			t.Fatal("Minimize grew the query")
+		}
+		m2 := m.Minimize()
+		if len(m2.Atoms) != len(m.Atoms) {
+			t.Fatalf("Minimize not idempotent: %d then %d", len(m.Atoms), len(m2.Atoms))
+		}
+	}
+}

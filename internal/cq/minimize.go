@@ -1,0 +1,86 @@
+package cq
+
+// Minimization: Definition 2.1 assumes queries and views are minimal — the
+// only containment mapping from a query to itself is the identity. Minimize
+// computes the core of the query while keeping the head fixed.
+
+// DedupAtoms returns a copy of q with duplicate atoms removed (first
+// occurrence kept).
+func (q *Query) DedupAtoms() *Query {
+	seen := make(map[Atom]struct{}, len(q.Atoms))
+	atoms := make([]Atom, 0, len(q.Atoms))
+	for _, a := range q.Atoms {
+		if _, ok := seen[a]; ok {
+			continue
+		}
+		seen[a] = struct{}{}
+		atoms = append(atoms, a)
+	}
+	return &Query{Head: append([]Term(nil), q.Head...), Atoms: atoms}
+}
+
+// Minimize returns the core of q: an equivalent query with a minimal number
+// of atoms, obtained by repeatedly folding q onto itself while keeping every
+// head variable fixed. The result is equivalent to q (same answers on every
+// database) and minimal in the sense of Definition 2.1.
+func (q *Query) Minimize() *Query {
+	cur := q.DedupAtoms()
+	identitySeed := func() map[Term]Term {
+		seed := make(map[Term]Term)
+		for _, t := range cur.Head {
+			if t.IsVar() {
+				seed[t] = t
+			}
+		}
+		return seed
+	}
+	for {
+		improved := false
+		for i := range cur.Atoms {
+			// Target: cur without atom i. A homomorphism from cur into that
+			// subquery (identity on head variables) proves atom i redundant.
+			sub := &Query{Head: cur.Head, Atoms: removeAtom(cur.Atoms, i)}
+			h := FindHomomorphism(cur, sub, identitySeed(), false)
+			if h == nil {
+				continue
+			}
+			// Replace cur by its image under h.
+			img := make([]Atom, 0, len(cur.Atoms))
+			seen := make(map[Atom]struct{})
+			for _, a := range cur.Atoms {
+				var b Atom
+				for p := 0; p < 3; p++ {
+					t := a[p]
+					if t.IsVar() {
+						if to, ok := h[t]; ok {
+							t = to
+						}
+					}
+					b[p] = t
+				}
+				if _, ok := seen[b]; !ok {
+					seen[b] = struct{}{}
+					img = append(img, b)
+				}
+			}
+			cur = &Query{Head: append([]Term(nil), cur.Head...), Atoms: img}
+			improved = true
+			break
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// IsMinimal reports whether q is its own core.
+func (q *Query) IsMinimal() bool {
+	return len(q.Minimize().Atoms) == len(q.DedupAtoms().Atoms) && len(q.Atoms) == len(q.DedupAtoms().Atoms)
+}
+
+func removeAtom(atoms []Atom, i int) []Atom {
+	out := make([]Atom, 0, len(atoms)-1)
+	out = append(out, atoms[:i]...)
+	out = append(out, atoms[i+1:]...)
+	return out
+}

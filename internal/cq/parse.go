@@ -1,0 +1,220 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+
+	"rdfviews/internal/dict"
+	"rdfviews/internal/rdf"
+)
+
+// Parser builds queries from a Datalog-like text syntax against a dictionary,
+// allocating variable numbers from its own counter so that queries parsed by
+// the same Parser live in one variable namespace (as the search requires for
+// the workload's initial state):
+//
+//	q(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y), t(Y, hasPainted, Z)
+//
+// Tokens starting with an upper-case ASCII letter or '?' are variables;
+// everything else is a constant: bare IRIs (rdf:/rdfs: prefixes expanded),
+// <full-iris>, or "literals".
+type Parser struct {
+	Dict *dict.Dictionary
+
+	nextVar int
+	names   map[string]Term
+}
+
+// NewParser returns a parser encoding constants into d.
+func NewParser(d *dict.Dictionary) *Parser {
+	return &Parser{Dict: d, names: make(map[string]Term)}
+}
+
+// FreshVar allocates a new variable in the parser's namespace.
+func (p *Parser) FreshVar() Term {
+	p.nextVar++
+	return Var(p.nextVar)
+}
+
+// VarByName returns the variable for a name, allocating on first use.
+// Names are scoped per query: ParseQuery resets no state, so the same name in
+// two ParseQuery calls maps to the same variable; use ResetNames between
+// queries that must not share variables.
+func (p *Parser) VarByName(name string) Term {
+	if v, ok := p.names[name]; ok {
+		return v
+	}
+	v := p.FreshVar()
+	p.names[name] = v
+	return v
+}
+
+// ResetNames forgets the name-to-variable bindings, so subsequently parsed
+// queries get fresh variables even for repeated names.
+func (p *Parser) ResetNames() { p.names = make(map[string]Term) }
+
+// ParseQuery parses one query.
+func (p *Parser) ParseQuery(s string) (*Query, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(s, ".")
+	sep := ":-"
+	i := strings.Index(s, sep)
+	if i < 0 {
+		return nil, fmt.Errorf("cq: missing ':-' in %q", s)
+	}
+	headStr, bodyStr := strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+len(sep):])
+
+	headArgs, err := parseParenList(headStr)
+	if err != nil {
+		return nil, fmt.Errorf("cq: head: %w", err)
+	}
+	var head []Term
+	for _, a := range headArgs {
+		t, err := p.parseTerm(a)
+		if err != nil {
+			return nil, err
+		}
+		head = append(head, t)
+	}
+
+	atomStrs, err := splitAtoms(bodyStr)
+	if err != nil {
+		return nil, err
+	}
+	var atoms []Atom
+	for _, as := range atomStrs {
+		args, err := parseParenList(as)
+		if err != nil {
+			return nil, fmt.Errorf("cq: atom %q: %w", as, err)
+		}
+		if len(args) != 3 {
+			return nil, fmt.Errorf("cq: atom %q must have 3 terms", as)
+		}
+		var atom Atom
+		for j, a := range args {
+			t, err := p.parseTerm(a)
+			if err != nil {
+				return nil, err
+			}
+			atom[j] = t
+		}
+		atoms = append(atoms, atom)
+	}
+	q := &Query{Head: head, Atoms: atoms}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParseQuery is ParseQuery panicking on error (tests and examples).
+func (p *Parser) MustParseQuery(s string) *Query {
+	q, err := p.ParseQuery(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseWorkload parses one query per non-empty, non-comment line, giving each
+// query fresh variables (names do not leak across queries).
+func (p *Parser) ParseWorkload(s string) ([]*Query, error) {
+	var out []*Query
+	for ln, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p.ResetNames()
+		q, err := p.ParseQuery(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+func (p *Parser) parseTerm(tok string) (Term, error) {
+	tok = strings.TrimSpace(tok)
+	if tok == "" {
+		return 0, fmt.Errorf("cq: empty term")
+	}
+	switch {
+	case tok[0] == '?':
+		if len(tok) == 1 {
+			return 0, fmt.Errorf("cq: bare '?' variable")
+		}
+		return p.VarByName(tok[1:]), nil
+	case tok[0] >= 'A' && tok[0] <= 'Z':
+		return p.VarByName(tok), nil
+	case tok[0] == '<' && tok[len(tok)-1] == '>':
+		return Const(p.Dict.Encode(rdf.NewIRI(tok[1 : len(tok)-1]))), nil
+	case tok[0] == '"':
+		if len(tok) < 2 || tok[len(tok)-1] != '"' {
+			return 0, fmt.Errorf("cq: malformed literal %s", tok)
+		}
+		return Const(p.Dict.Encode(rdf.NewLiteral(tok[1 : len(tok)-1]))), nil
+	case strings.HasPrefix(tok, "_:"):
+		// Blank nodes in queries behave exactly like existential variables
+		// (Section 2), so we parse them as variables.
+		return p.VarByName(tok), nil
+	default:
+		return Const(p.Dict.EncodeIRI(tok)), nil
+	}
+}
+
+// parseParenList extracts "name(a, b, c)" argument strings. An empty
+// argument list "q()" is allowed for boolean queries.
+func parseParenList(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("malformed term list %q", s)
+	}
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	if inner == "" {
+		return nil, nil
+	}
+	parts := strings.Split(inner, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+		if parts[i] == "" {
+			return nil, fmt.Errorf("empty argument in %q", s)
+		}
+	}
+	return parts, nil
+}
+
+// splitAtoms splits "t(..), t(..)" at top-level commas.
+func splitAtoms(s string) ([]string, error) {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("cq: unbalanced ')' in %q", s)
+			}
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("cq: unbalanced '(' in %q", s)
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" {
+		out = append(out, last)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cq: empty body in %q", s)
+	}
+	return out, nil
+}

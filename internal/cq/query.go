@@ -1,0 +1,366 @@
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rdfviews/internal/dict"
+	"rdfviews/internal/rdf"
+)
+
+// Atom is one triple atom t(s, p, o) in a query body.
+type Atom [3]Term
+
+// Vars returns the distinct variables of the atom, in position order.
+func (a Atom) Vars() []Term {
+	var out []Term
+	for _, t := range a {
+		if t.IsVar() && !containsTerm(out, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// HasVar reports whether the atom mentions the variable v.
+func (a Atom) HasVar(v Term) bool {
+	return a[0] == v || a[1] == v || a[2] == v
+}
+
+// ConstCount returns the number of constant positions in the atom.
+func (a Atom) ConstCount() int {
+	n := 0
+	for _, t := range a {
+		if t.IsConst() {
+			n++
+		}
+	}
+	return n
+}
+
+// SharesVar reports whether two atoms share at least one variable.
+func (a Atom) SharesVar(b Atom) bool {
+	for _, t := range a {
+		if t.IsVar() && b.HasVar(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Query is a conjunctive query (or view) over the triple table: a head term
+// list and a body of triple atoms. Head terms are normally variables
+// occurring in the body; constants may appear in heads of queries produced by
+// reformulation (rules 5 and 6 bind variables that the head exports).
+type Query struct {
+	Head  []Term
+	Atoms []Atom
+}
+
+// NewQuery builds a query, copying both slices.
+func NewQuery(head []Term, atoms []Atom) *Query {
+	return &Query{
+		Head:  append([]Term(nil), head...),
+		Atoms: append([]Atom(nil), atoms...),
+	}
+}
+
+// Clone returns a deep copy.
+func (q *Query) Clone() *Query { return NewQuery(q.Head, q.Atoms) }
+
+// Len returns len(q): the number of atoms, as used by the maintenance cost
+// VMC = Σ f^len(v).
+func (q *Query) Len() int { return len(q.Atoms) }
+
+// Vars returns the distinct variables of the body, in first-occurrence order.
+func (q *Query) Vars() []Term {
+	var out []Term
+	for _, a := range q.Atoms {
+		for _, t := range a {
+			if t.IsVar() && !containsTerm(out, t) {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// HeadVars returns the distinct variables of the head, in order.
+func (q *Query) HeadVars() []Term {
+	var out []Term
+	for _, t := range q.Head {
+		if t.IsVar() && !containsTerm(out, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ExistentialVars returns the body variables that are not in the head.
+func (q *Query) ExistentialVars() []Term {
+	head := make(map[Term]struct{}, len(q.Head))
+	for _, t := range q.Head {
+		head[t] = struct{}{}
+	}
+	var out []Term
+	for _, v := range q.Vars() {
+		if _, ok := head[v]; !ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// MaxVarNum returns the largest variable number used anywhere in the query
+// (0 if none). Fresh variables should be allocated above this.
+func (q *Query) MaxVarNum() int {
+	max := 0
+	for _, a := range q.Atoms {
+		for _, t := range a {
+			if t.IsVar() && t.VarNum() > max {
+				max = t.VarNum()
+			}
+		}
+	}
+	for _, t := range q.Head {
+		if t.IsVar() && t.VarNum() > max {
+			max = t.VarNum()
+		}
+	}
+	return max
+}
+
+// Constants returns the distinct constants of the body, sorted.
+func (q *Query) Constants() []dict.ID {
+	set := make(map[dict.ID]struct{})
+	for _, a := range q.Atoms {
+		for _, t := range a {
+			if t.IsConst() {
+				set[t.ConstID()] = struct{}{}
+			}
+		}
+	}
+	out := make([]dict.ID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ConstCount returns the total number of constant positions in the body
+// (counting repetitions), the #c(Q) measure of Table 3.
+func (q *Query) ConstCount() int {
+	n := 0
+	for _, a := range q.Atoms {
+		n += a.ConstCount()
+	}
+	return n
+}
+
+// Validate checks structural sanity: non-empty body, head terms that are
+// either constants or body variables, and no zero terms.
+func (q *Query) Validate() error {
+	if len(q.Atoms) == 0 {
+		return fmt.Errorf("cq: empty body")
+	}
+	bodyVars := make(map[Term]struct{})
+	for i, a := range q.Atoms {
+		for p, t := range a {
+			if t == 0 {
+				return fmt.Errorf("cq: zero term at atom %d position %d", i, p)
+			}
+			if t.IsVar() {
+				bodyVars[t] = struct{}{}
+			}
+		}
+	}
+	for _, t := range q.Head {
+		if t == 0 {
+			return fmt.Errorf("cq: zero term in head")
+		}
+		if t.IsVar() {
+			if _, ok := bodyVars[t]; !ok {
+				return fmt.Errorf("cq: head variable %v not in body", t)
+			}
+		}
+	}
+	return nil
+}
+
+// Substitute returns a copy of q with every occurrence of variable v
+// (in body and head) replaced by term to. This is the σ=[X/c] operation of
+// Algorithm 1.
+func (q *Query) Substitute(v, to Term) *Query {
+	out := q.Clone()
+	for i := range out.Atoms {
+		for p := range out.Atoms[i] {
+			if out.Atoms[i][p] == v {
+				out.Atoms[i][p] = to
+			}
+		}
+	}
+	for i := range out.Head {
+		if out.Head[i] == v {
+			out.Head[i] = to
+		}
+	}
+	return out
+}
+
+// ReplaceAtom returns a copy of q with atom index i replaced by a. This is
+// the q[g/g'] operation of Algorithm 1.
+func (q *Query) ReplaceAtom(i int, a Atom) *Query {
+	out := q.Clone()
+	out.Atoms[i] = a
+	return out
+}
+
+// RenameVars returns a copy of q with variables renamed through m. Variables
+// absent from m are kept. The mapping applies to head and body.
+func (q *Query) RenameVars(m map[Term]Term) *Query {
+	out := q.Clone()
+	apply := func(t Term) Term {
+		if t.IsVar() {
+			if to, ok := m[t]; ok {
+				return to
+			}
+		}
+		return t
+	}
+	for i := range out.Atoms {
+		for p := range out.Atoms[i] {
+			out.Atoms[i][p] = apply(out.Atoms[i][p])
+		}
+	}
+	for i := range out.Head {
+		out.Head[i] = apply(out.Head[i])
+	}
+	return out
+}
+
+// ConnectedComponents partitions the body atoms into maximal groups
+// transitively connected by shared variables. A query without Cartesian
+// products (Definition 2.1) has exactly one component.
+func (q *Query) ConnectedComponents() [][]int {
+	n := len(q.Atoms)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if q.Atoms[i].SharesVar(q.Atoms[j]) {
+				union(i, j)
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	var roots []int
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// IsConnected reports whether the query has a single connected component,
+// i.e., is free of Cartesian products.
+func (q *Query) IsConnected() bool { return len(q.ConnectedComponents()) <= 1 }
+
+// SplitIndependent represents a query with Cartesian products by the set of
+// its independent sub-queries (Definition 2.1). Each sub-query keeps the head
+// terms relevant to it; head constants are attached to the first part.
+func (q *Query) SplitIndependent() []*Query {
+	comps := q.ConnectedComponents()
+	if len(comps) <= 1 {
+		return []*Query{q.Clone()}
+	}
+	out := make([]*Query, 0, len(comps))
+	for ci, comp := range comps {
+		atoms := make([]Atom, 0, len(comp))
+		vars := make(map[Term]struct{})
+		for _, ai := range comp {
+			atoms = append(atoms, q.Atoms[ai])
+			for _, t := range q.Atoms[ai] {
+				if t.IsVar() {
+					vars[t] = struct{}{}
+				}
+			}
+		}
+		var head []Term
+		for _, t := range q.Head {
+			if t.IsVar() {
+				if _, ok := vars[t]; ok {
+					head = append(head, t)
+				}
+			} else if ci == 0 {
+				head = append(head, t)
+			}
+		}
+		out = append(out, NewQuery(head, atoms))
+	}
+	return out
+}
+
+// String renders the query in the paper's Datalog-like notation with raw
+// term encodings: q(X1, X2) :- t(X1, #5, X2), ...
+func (q *Query) String() string { return q.Format(nil) }
+
+// Format renders the query, decoding constants through d when non-nil.
+func (q *Query) Format(d *dict.Dictionary) string {
+	term := func(t Term) string {
+		if t.IsConst() && d != nil {
+			tm, err := d.Decode(t.ConstID())
+			if err == nil {
+				if tm.Kind == rdf.IRI {
+					return rdf.ShortenIRI(tm.Value)
+				}
+				return tm.String()
+			}
+		}
+		return t.String()
+	}
+	var sb strings.Builder
+	sb.WriteString("q(")
+	for i, t := range q.Head {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(term(t))
+	}
+	sb.WriteString(") :- ")
+	for i, a := range q.Atoms {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "t(%s, %s, %s)", term(a[0]), term(a[1]), term(a[2]))
+	}
+	return sb.String()
+}
+
+func containsTerm(ts []Term, t Term) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,262 @@
+package cq
+
+import (
+	"testing"
+
+	"rdfviews/internal/dict"
+)
+
+func newTestParser() *Parser { return NewParser(dict.New()) }
+
+func TestTermBasics(t *testing.T) {
+	c := Const(5)
+	v := Var(3)
+	if !c.IsConst() || c.IsVar() || c.ConstID() != 5 {
+		t.Error("constant term broken")
+	}
+	if !v.IsVar() || v.IsConst() || v.VarNum() != 3 {
+		t.Error("variable term broken")
+	}
+	if c.String() != "#5" || v.String() != "X3" {
+		t.Errorf("String: %q %q", c.String(), v.String())
+	}
+}
+
+func TestTermPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Const(0)", func() { Const(0) })
+	mustPanic("Var(0)", func() { Var(0) })
+	mustPanic("ConstID on var", func() { Var(1).ConstID() })
+	mustPanic("VarNum on const", func() { Const(1).VarNum() })
+}
+
+func TestParsePaperRunningExample(t *testing.T) {
+	p := newTestParser()
+	q, err := p.ParseQuery(
+		"q(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y), t(Y, hasPainted, Z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Head) != 2 || len(q.Atoms) != 3 {
+		t.Fatalf("parsed shape wrong: %v", q)
+	}
+	if q.Head[0] != q.Atoms[0][0] || q.Head[0] != q.Atoms[1][0] {
+		t.Error("X should be shared")
+	}
+	if q.Atoms[0][1] != q.Atoms[2][1] {
+		t.Error("hasPainted should encode to the same constant")
+	}
+	if !q.IsConnected() {
+		t.Error("paper query is connected")
+	}
+	if q.Len() != 3 || q.ConstCount() != 4 {
+		t.Errorf("Len=%d ConstCount=%d", q.Len(), q.ConstCount())
+	}
+	if got := len(q.Vars()); got != 3 {
+		t.Errorf("Vars = %d, want 3", got)
+	}
+	if got := len(q.ExistentialVars()); got != 1 {
+		t.Errorf("ExistentialVars = %d, want 1", got)
+	}
+}
+
+func TestParseTermForms(t *testing.T) {
+	p := newTestParser()
+	q, err := p.ParseQuery(`q(X) :- t(X, <http://ex/p>, "a literal"), t(X, rdf:type, ?klass), t(_:b, p2, X)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 3 {
+		t.Fatal("want 3 atoms")
+	}
+	if !q.Atoms[0][1].IsConst() || !q.Atoms[0][2].IsConst() {
+		t.Error("IRI and literal should be constants")
+	}
+	if !q.Atoms[1][2].IsVar() {
+		t.Error("?klass should be a variable")
+	}
+	if !q.Atoms[2][0].IsVar() {
+		t.Error("blank node in query should be an (existential) variable")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	p := newTestParser()
+	bad := []string{
+		"q(X) : t(X, p, o)",      // missing :-
+		"q(X :- t(X, p, o)",      // malformed head
+		"q(X) :- t(X, p)",        // 2-term atom
+		"q(X) :- t(X, p, o,)",    // empty arg
+		"q(X) :- ",               // empty body
+		"q(X) :- t(X, p, o",      // unbalanced
+		"q(Y) :- t(X, p, o)",     // head var not in body
+		"q(?) :- t(X, p, o)",     // bare ?
+		`q(X) :- t(X, p, "uncl)`, // unclosed literal
+	}
+	for _, s := range bad {
+		if _, err := p.ParseQuery(s); err == nil {
+			t.Errorf("ParseQuery(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseWorkloadFreshVars(t *testing.T) {
+	p := newTestParser()
+	qs, err := p.ParseWorkload(`
+# two queries using the same variable names
+q(X) :- t(X, p, c1)
+q(X) :- t(X, p, c2)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	if qs[0].Head[0] == qs[1].Head[0] {
+		t.Error("workload queries must not share variables")
+	}
+}
+
+func TestSubstituteAndReplaceAtom(t *testing.T) {
+	p := newTestParser()
+	q := p.MustParseQuery("q(X, Y) :- t(X, p, Y), t(Y, p, Z)")
+	c := Const(p.Dict.EncodeIRI("k"))
+	s := q.Substitute(q.Head[1], c)
+	if s.Head[1] != c {
+		t.Error("head occurrence not substituted")
+	}
+	if s.Atoms[0][2] != c || s.Atoms[1][0] != c {
+		t.Error("body occurrences not substituted")
+	}
+	if q.Head[1] == c {
+		t.Error("Substitute must not mutate the receiver")
+	}
+	r := q.ReplaceAtom(1, Atom{q.Head[0], c, q.Head[0]})
+	if r.Atoms[1][1] != c || q.Atoms[1][1] == c {
+		t.Error("ReplaceAtom wrong or mutated receiver")
+	}
+}
+
+func TestRenameVars(t *testing.T) {
+	p := newTestParser()
+	q := p.MustParseQuery("q(X) :- t(X, p, Y)")
+	m := map[Term]Term{q.Head[0]: Var(77)}
+	r := q.RenameVars(m)
+	if r.Head[0] != Var(77) || r.Atoms[0][0] != Var(77) {
+		t.Error("rename did not apply")
+	}
+	if r.Atoms[0][2] == Var(77) {
+		t.Error("unmapped var changed")
+	}
+}
+
+func TestConnectedComponentsAndSplit(t *testing.T) {
+	p := newTestParser()
+	q := p.MustParseQuery("q(X, A) :- t(X, p, Y), t(Y, p, Z), t(A, r, B)")
+	comps := q.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if q.IsConnected() {
+		t.Error("query with cartesian product reported connected")
+	}
+	parts := q.SplitIndependent()
+	if len(parts) != 2 {
+		t.Fatalf("split = %d parts", len(parts))
+	}
+	if len(parts[0].Atoms)+len(parts[1].Atoms) != 3 {
+		t.Error("split lost atoms")
+	}
+	for _, part := range parts {
+		if err := part.Validate(); err != nil {
+			t.Errorf("split part invalid: %v", err)
+		}
+		if !part.IsConnected() {
+			t.Errorf("split part not connected")
+		}
+	}
+	// A connected query splits into itself.
+	q2 := p.MustParseQuery("q(X) :- t(X, p, Y)")
+	if got := q2.SplitIndependent(); len(got) != 1 {
+		t.Errorf("connected split = %d", len(got))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := &Query{Head: []Term{Var(1)}, Atoms: []Atom{{Var(1), Const(2), Var(3)}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	bad := []*Query{
+		{Head: []Term{Var(1)}}, // empty body
+		{Head: []Term{Var(9)}, Atoms: []Atom{{Var(1), Const(2), Var(3)}}}, // head var not in body
+		{Head: []Term{Var(1)}, Atoms: []Atom{{Var(1), 0, Var(3)}}},        // zero term
+		{Head: []Term{0}, Atoms: []Atom{{Var(1), Const(2), Var(3)}}},      // zero head
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("bad query %d accepted", i)
+		}
+	}
+	// Constants allowed in heads (reformulation rules 5/6 produce them).
+	withConst := &Query{Head: []Term{Var(1), Const(7)}, Atoms: []Atom{{Var(1), Const(7), Const(2)}}}
+	if err := withConst.Validate(); err != nil {
+		t.Errorf("constant head rejected: %v", err)
+	}
+}
+
+func TestMaxVarNumAndConstants(t *testing.T) {
+	q := &Query{
+		Head:  []Term{Var(2)},
+		Atoms: []Atom{{Var(2), Const(10), Var(9)}, {Var(9), Const(4), Const(10)}},
+	}
+	if q.MaxVarNum() != 9 {
+		t.Errorf("MaxVarNum = %d", q.MaxVarNum())
+	}
+	cs := q.Constants()
+	if len(cs) != 2 || cs[0] != 4 || cs[1] != 10 {
+		t.Errorf("Constants = %v", cs)
+	}
+}
+
+func TestFormatIsReadable(t *testing.T) {
+	p := newTestParser()
+	q := p.MustParseQuery("q(X) :- t(X, rdf:type, painter)")
+	s := q.Format(p.Dict)
+	if s != "q(X1) :- t(X1, rdf:type, painter)" {
+		t.Errorf("Format = %q", s)
+	}
+	if q.String() == "" {
+		t.Error("String should render without dict")
+	}
+}
+
+func TestAtomHelpers(t *testing.T) {
+	a := Atom{Var(1), Const(2), Var(1)}
+	if len(a.Vars()) != 1 {
+		t.Error("Vars should dedup")
+	}
+	if !a.HasVar(Var(1)) || a.HasVar(Var(9)) {
+		t.Error("HasVar wrong")
+	}
+	if a.ConstCount() != 1 {
+		t.Error("ConstCount wrong")
+	}
+	b := Atom{Var(3), Const(4), Var(1)}
+	if !a.SharesVar(b) {
+		t.Error("SharesVar should see X1")
+	}
+	c := Atom{Var(7), Const(2), Const(2)}
+	if a.SharesVar(c) {
+		t.Error("constant must not count as shared var")
+	}
+}

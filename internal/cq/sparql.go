@@ -1,0 +1,223 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+
+	"rdfviews/internal/rdf"
+)
+
+// SPARQL front-end: the paper's query language is the basic graph pattern
+// (BGP) fragment of SPARQL, represented as conjunctive queries over the
+// triple table (Definition 2.1). ParseSPARQL accepts that fragment:
+//
+//	PREFIX ex: <http://example.org/>
+//	SELECT ?x ?z
+//	WHERE {
+//	    ?x ex:hasPainted ex:starryNight .
+//	    ?x ex:isParentOf ?y .
+//	    ?y a ex:painter .
+//	}
+//
+// Supported: PREFIX declarations, SELECT with explicit variables or *,
+// triple patterns with ?variables, <IRIs>, prefixed names, bare tokens,
+// "literals", _:blank nodes (treated as existential variables, Section 2),
+// and the 'a' shorthand for rdf:type. DISTINCT is accepted and ignored
+// (evaluation is set-semantics throughout).
+
+// ParseSPARQL parses one BGP SELECT query into a conjunctive query.
+func (p *Parser) ParseSPARQL(text string) (*Query, error) {
+	toks, err := sparqlTokens(text)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	peek := func() string {
+		if i < len(toks) {
+			return toks[i]
+		}
+		return ""
+	}
+	next := func() string {
+		t := peek()
+		i++
+		return t
+	}
+
+	prefixes := map[string]string{
+		"rdf:":  rdf.RDFNS,
+		"rdfs:": rdf.RDFSNS,
+	}
+	for strings.EqualFold(peek(), "PREFIX") {
+		next()
+		name := next()
+		iri := next()
+		if !strings.HasSuffix(name, ":") || !strings.HasPrefix(iri, "<") || !strings.HasSuffix(iri, ">") {
+			return nil, fmt.Errorf("cq: malformed PREFIX %q %q", name, iri)
+		}
+		prefixes[name] = iri[1 : len(iri)-1]
+	}
+
+	if !strings.EqualFold(peek(), "SELECT") {
+		return nil, fmt.Errorf("cq: expected SELECT, got %q", peek())
+	}
+	next()
+	if strings.EqualFold(peek(), "DISTINCT") {
+		next()
+	}
+	var headNames []string
+	star := false
+	for peek() != "" && !strings.EqualFold(peek(), "WHERE") && peek() != "{" {
+		t := next()
+		switch {
+		case t == "*":
+			star = true
+		case strings.HasPrefix(t, "?") || strings.HasPrefix(t, "$"):
+			headNames = append(headNames, t[1:])
+		default:
+			return nil, fmt.Errorf("cq: unexpected token %q in SELECT clause", t)
+		}
+	}
+	if strings.EqualFold(peek(), "WHERE") {
+		next()
+	}
+	if peek() != "{" {
+		return nil, fmt.Errorf("cq: expected '{', got %q", peek())
+	}
+	next()
+
+	resolve := func(tok string) (Term, error) {
+		switch {
+		case tok == "a":
+			return Const(p.Dict.EncodeIRI(rdf.RDFType)), nil
+		case strings.HasPrefix(tok, "?") || strings.HasPrefix(tok, "$"):
+			if len(tok) == 1 {
+				return 0, fmt.Errorf("cq: bare variable marker")
+			}
+			return p.VarByName(tok[1:]), nil
+		case strings.HasPrefix(tok, "_:"):
+			return p.VarByName(tok), nil
+		case strings.HasPrefix(tok, "<") && strings.HasSuffix(tok, ">"):
+			return Const(p.Dict.Encode(rdf.NewIRI(tok[1 : len(tok)-1]))), nil
+		case strings.HasPrefix(tok, `"`):
+			if len(tok) < 2 || !strings.HasSuffix(tok, `"`) {
+				return 0, fmt.Errorf("cq: malformed literal %s", tok)
+			}
+			return Const(p.Dict.Encode(rdf.NewLiteral(tok[1 : len(tok)-1]))), nil
+		default:
+			if c := strings.Index(tok, ":"); c >= 0 {
+				if ns, ok := prefixes[tok[:c+1]]; ok {
+					return Const(p.Dict.Encode(rdf.NewIRI(ns + tok[c+1:]))), nil
+				}
+			}
+			return Const(p.Dict.EncodeIRI(tok)), nil
+		}
+	}
+
+	var atoms []Atom
+	for peek() != "}" && peek() != "" {
+		var atom Atom
+		for pos := 0; pos < 3; pos++ {
+			tok := next()
+			if tok == "" || tok == "}" || tok == "." {
+				return nil, fmt.Errorf("cq: incomplete triple pattern")
+			}
+			t, err := resolve(tok)
+			if err != nil {
+				return nil, err
+			}
+			atom[pos] = t
+		}
+		atoms = append(atoms, atom)
+		if peek() == "." {
+			next()
+		}
+	}
+	if next() != "}" {
+		return nil, fmt.Errorf("cq: missing '}'")
+	}
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("cq: empty basic graph pattern")
+	}
+
+	var head []Term
+	if star {
+		head = (&Query{Atoms: atoms}).Vars()
+	} else {
+		for _, n := range headNames {
+			head = append(head, p.VarByName(n))
+		}
+	}
+	q := &Query{Head: head, Atoms: atoms}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParseSPARQL panics on error; for tests and examples.
+func (p *Parser) MustParseSPARQL(text string) *Query {
+	q, err := p.ParseSPARQL(text)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// sparqlTokens splits the input into tokens, keeping <...>, "..." and
+// punctuation ({ } .) as units, and stripping # comments.
+func sparqlTokens(s string) ([]string, error) {
+	var toks []string
+	i, n := 0, len(s)
+	for i < n {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#':
+			for i < n && s[i] != '\n' {
+				i++
+			}
+		case c == '{' || c == '}':
+			toks = append(toks, string(c))
+			i++
+		case c == '.':
+			toks = append(toks, ".")
+			i++
+		case c == '<':
+			j := strings.IndexByte(s[i:], '>')
+			if j < 0 {
+				return nil, fmt.Errorf("cq: unterminated IRI")
+			}
+			toks = append(toks, s[i:i+j+1])
+			i += j + 1
+		case c == '"':
+			j := i + 1
+			for j < n && s[j] != '"' {
+				if s[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("cq: unterminated literal")
+			}
+			toks = append(toks, s[i:j+1])
+			i = j + 1
+		default:
+			j := i
+			for j < n && !strings.ContainsRune(" \t\n\r{}#", rune(s[j])) {
+				// A '.' ends a token only when followed by whitespace or
+				// a brace (so prefixed names with dots survive).
+				if s[j] == '.' && (j+1 >= n || s[j+1] == ' ' || s[j+1] == '\t' ||
+					s[j+1] == '\n' || s[j+1] == '\r' || s[j+1] == '}') {
+					break
+				}
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}

@@ -1,0 +1,140 @@
+package cq
+
+import (
+	"testing"
+
+	"rdfviews/internal/rdf"
+)
+
+func TestParseSPARQLPaperExample(t *testing.T) {
+	p := newTestParser()
+	q := p.MustParseSPARQL(`
+SELECT ?x ?z
+WHERE {
+    ?x hasPainted starryNight .
+    ?x isParentOf ?y .
+    ?y hasPainted ?z .
+}`)
+	p.ResetNames()
+	want := p.MustParseQuery(
+		"q(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y), t(Y, hasPainted, Z)")
+	if !Equivalent(q, want) {
+		t.Fatalf("SPARQL parse differs:\n%s\n%s", q.Format(p.Dict), want.Format(p.Dict))
+	}
+}
+
+func TestParseSPARQLPrefixesAndA(t *testing.T) {
+	p := newTestParser()
+	q := p.MustParseSPARQL(`
+PREFIX ex: <http://example.org/>
+SELECT ?x WHERE { ?x a ex:painter . ?x ex:name "Vincent" }`)
+	if len(q.Atoms) != 2 {
+		t.Fatalf("atoms = %d", len(q.Atoms))
+	}
+	// 'a' expands to rdf:type.
+	typeID, ok := p.Dict.LookupIRI(rdf.RDFType)
+	if !ok || q.Atoms[0][1] != Const(typeID) {
+		t.Error("'a' not expanded to rdf:type")
+	}
+	// ex: prefix expanded.
+	painter, ok := p.Dict.Lookup(rdf.NewIRI("http://example.org/painter"))
+	if !ok || q.Atoms[0][2] != Const(painter) {
+		t.Error("prefixed name not expanded")
+	}
+	lit, ok := p.Dict.Lookup(rdf.NewLiteral("Vincent"))
+	if !ok || q.Atoms[1][2] != Const(lit) {
+		t.Error("literal object wrong")
+	}
+}
+
+func TestParseSPARQLSelectStarAndDistinct(t *testing.T) {
+	p := newTestParser()
+	q := p.MustParseSPARQL(`SELECT DISTINCT * WHERE { ?s ?p ?o }`)
+	if len(q.Head) != 3 {
+		t.Fatalf("star head = %v", q.Head)
+	}
+	if len(q.Atoms) != 1 {
+		t.Fatal("one atom expected")
+	}
+}
+
+func TestParseSPARQLBlankNodesAreVariables(t *testing.T) {
+	p := newTestParser()
+	q := p.MustParseSPARQL(`SELECT ?x WHERE { ?x knows _:b . _:b knows ?x }`)
+	if len(q.Vars()) != 2 {
+		t.Fatalf("vars = %v", q.Vars())
+	}
+	if q.Atoms[0][2] != q.Atoms[1][0] {
+		t.Error("blank node identity not preserved")
+	}
+}
+
+func TestParseSPARQLFullIRIs(t *testing.T) {
+	p := newTestParser()
+	q := p.MustParseSPARQL(`SELECT ?x WHERE { ?x <http://ex/p> <http://ex/o.v> . }`)
+	if len(q.Atoms) != 1 {
+		t.Fatal("one atom")
+	}
+	if _, ok := p.Dict.Lookup(rdf.NewIRI("http://ex/o.v")); !ok {
+		t.Error("dotted IRI mangled")
+	}
+}
+
+func TestParseSPARQLComments(t *testing.T) {
+	p := newTestParser()
+	q := p.MustParseSPARQL(`
+# leading comment
+SELECT ?x WHERE {
+  ?x p o . # trailing comment
+}`)
+	if len(q.Atoms) != 1 {
+		t.Fatalf("atoms = %d", len(q.Atoms))
+	}
+}
+
+func TestParseSPARQLErrors(t *testing.T) {
+	p := newTestParser()
+	bad := []string{
+		``,
+		`SELECT ?x`,                  // no where
+		`WHERE { ?x p o }`,           // no select
+		`SELECT ?x WHERE { ?x p }`,   // short pattern
+		`SELECT ?x WHERE { ?x p o`,   // missing }
+		`SELECT x WHERE { ?x p o }`,  // bad projection
+		`SELECT ?y WHERE { ?x p o }`, // head var not in body
+		`SELECT ?x WHERE { }`,        // empty BGP
+		`PREFIX ex <http://e/> SELECT ?x WHERE { ?x p o }`, // bad prefix
+		`SELECT ?x WHERE { ?x p "unterminated }`,
+		`SELECT ?x WHERE { ?x <unterminated o }`,
+		`SELECT ?x WHERE { ? p o }`,
+	}
+	for _, s := range bad {
+		if _, err := p.ParseSPARQL(s); err == nil {
+			t.Errorf("ParseSPARQL(%q) should fail", s)
+		}
+		p.ResetNames()
+	}
+}
+
+func TestParseSPARQLEquivalentToDatalogForms(t *testing.T) {
+	p := newTestParser()
+	pairs := []struct{ sparql, datalog string }{
+		{
+			`SELECT ?x WHERE { ?x rdf:type painting }`,
+			"q(X) :- t(X, rdf:type, painting)",
+		},
+		{
+			`SELECT ?p ?w WHERE { ?p hasPainted ?w . ?p isParentOf ?c . }`,
+			"q(P, W) :- t(P, hasPainted, W), t(P, isParentOf, C)",
+		},
+	}
+	for _, pair := range pairs {
+		p.ResetNames()
+		qs := p.MustParseSPARQL(pair.sparql)
+		p.ResetNames()
+		qd := p.MustParseQuery(pair.datalog)
+		if !Equivalent(qs, qd) {
+			t.Errorf("not equivalent:\n%s\n%s", qs.Format(p.Dict), qd.Format(p.Dict))
+		}
+	}
+}

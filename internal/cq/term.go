@@ -1,0 +1,73 @@
+// Package cq implements the conjunctive RDF queries of Definition 2.1: basic
+// graph pattern queries represented as conjunctive queries over the single
+// triple table t(s, p, o). It provides the query-theoretic machinery the view
+// selection search relies on: containment mappings [7], minimization,
+// (NP-complete) equivalence, body isomorphism (used by View Fusion), and
+// canonical codes used to detect duplicate states.
+//
+// Terms are dictionary-encoded: positive values are constants (dict.ID),
+// negative values are variables. Blank nodes in queries behave exactly like
+// existential variables (Section 2), so they need no special representation.
+package cq
+
+import (
+	"fmt"
+
+	"rdfviews/internal/dict"
+)
+
+// Term is a query term: a constant (> 0, a dict.ID) or a variable (< 0).
+// The zero Term is invalid.
+type Term int64
+
+// Const returns the term for a constant dictionary ID.
+func Const(id dict.ID) Term {
+	if id <= 0 {
+		panic(fmt.Sprintf("cq: constant ID must be positive, got %d", id))
+	}
+	return Term(id)
+}
+
+// Var returns the term for variable number i (i >= 1). Variables are
+// identified by number only; names are a parser-level concern.
+func Var(i int) Term {
+	if i <= 0 {
+		panic(fmt.Sprintf("cq: variable number must be positive, got %d", i))
+	}
+	return Term(-int64(i))
+}
+
+// IsConst reports whether t is a constant.
+func (t Term) IsConst() bool { return t > 0 }
+
+// IsVar reports whether t is a variable.
+func (t Term) IsVar() bool { return t < 0 }
+
+// ConstID returns the dictionary ID of a constant term.
+func (t Term) ConstID() dict.ID {
+	if !t.IsConst() {
+		panic(fmt.Sprintf("cq: ConstID on non-constant %d", t))
+	}
+	return dict.ID(t)
+}
+
+// VarNum returns the variable number of a variable term.
+func (t Term) VarNum() int {
+	if !t.IsVar() {
+		panic(fmt.Sprintf("cq: VarNum on non-variable %d", t))
+	}
+	return int(-t)
+}
+
+// String renders constants as #id and variables as Xn. For human-readable
+// output with real constant names use Query.Format.
+func (t Term) String() string {
+	switch {
+	case t.IsConst():
+		return fmt.Sprintf("#%d", int64(t))
+	case t.IsVar():
+		return fmt.Sprintf("X%d", t.VarNum())
+	default:
+		return "?!"
+	}
+}

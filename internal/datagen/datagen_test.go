@@ -1,0 +1,94 @@
+package datagen
+
+import (
+	"testing"
+
+	"rdfviews/internal/rdf"
+	"rdfviews/internal/reason"
+	"rdfviews/internal/store"
+)
+
+func TestGenerateSchemaBartonScale(t *testing.T) {
+	s := GenerateSchema(Config{})
+	if s.Len() != 106 {
+		t.Errorf("schema statements = %d, want 106", s.Len())
+	}
+	// Every class/property index must stay within the configured counts.
+	if got := len(s.Classes()); got == 0 || got > 39 {
+		t.Errorf("classes = %d, want (0,39]", got)
+	}
+	if got := len(s.Properties()); got == 0 || got > 61 {
+		t.Errorf("properties = %d, want (0,61]", got)
+	}
+	// The hierarchy must have depth: the closure must be strictly larger.
+	if c := s.Closure(); c.Len() <= s.Len() {
+		t.Errorf("closure added nothing: %d <= %d", c.Len(), s.Len())
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	st, schema := Generate(Config{Triples: 3000, Seed: 7})
+	if st.Len() != 3000 {
+		t.Fatalf("triples = %d", st.Len())
+	}
+	if schema.Len() != 106 {
+		t.Fatalf("schema = %d statements", schema.Len())
+	}
+	typeID, ok := st.Dict().LookupIRI(rdf.RDFType)
+	if !ok {
+		t.Fatal("rdf:type missing from dictionary")
+	}
+	typeCount := st.Count(store.Pattern{store.Wildcard, typeID, store.Wildcard})
+	frac := float64(typeCount) / float64(st.Len())
+	if frac < 0.10 || frac > 0.35 {
+		t.Errorf("type-triple fraction = %v, want ≈0.20", frac)
+	}
+	// Zipf skew: the most frequent property should dominate the median one.
+	maxCount, nonZero := 0, 0
+	for i := 0; i < 61; i++ {
+		id, ok := st.Dict().LookupIRI(PropName(i))
+		if !ok {
+			continue
+		}
+		c := st.Count(store.Pattern{store.Wildcard, id, store.Wildcard})
+		if c > 0 {
+			nonZero++
+		}
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if nonZero < 30 {
+		t.Errorf("only %d properties used", nonZero)
+	}
+	if maxCount < st.Len()/61 {
+		t.Errorf("no skew: max property count %d", maxCount)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(Config{Triples: 500, Seed: 42})
+	b, _ := Generate(Config{Triples: 500, Seed: 42})
+	if a.Len() != b.Len() {
+		t.Fatal("sizes differ")
+	}
+	at, bt := a.Triples(), b.Triples()
+	for i := range at {
+		if at[i] != bt[i] {
+			t.Fatalf("triple %d differs", i)
+		}
+	}
+}
+
+func TestGeneratedSchemaSupportsReasoning(t *testing.T) {
+	st, sch := Generate(Config{Triples: 1000, Seed: 3})
+	schema := reason.NewSchema(sch, st.Dict())
+	sat := reason.Saturate(st, schema)
+	if sat.Len() <= st.Len() {
+		t.Errorf("saturation added no implicit triples: %d -> %d", st.Len(), sat.Len())
+	}
+	bound := reason.EntailedTripleBound(st, schema)
+	if sat.Len()-st.Len() > bound {
+		t.Errorf("implicit triples %d exceed O(|D|·|S|) bound %d", sat.Len()-st.Len(), bound)
+	}
+}

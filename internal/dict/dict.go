@@ -1,0 +1,125 @@
+// Package dict implements the dictionary encoding used by the storage layer:
+// each distinct RDF term is mapped to a dense positive integer ID, mirroring
+// the paper's "dictionary-encoded triple table, using a distinct integer for
+// each distinct URI or literal" (Section 6).
+//
+// IDs start at 1; 0 is never a valid ID (the conjunctive-query layer reserves
+// non-positive values for variables).
+package dict
+
+import (
+	"fmt"
+	"sort"
+
+	"rdfviews/internal/rdf"
+)
+
+// ID is a dictionary code for one RDF term. Valid IDs are >= 1.
+type ID int64
+
+// Dictionary is a bidirectional mapping between RDF terms and IDs.
+// The zero value is not usable; call New.
+type Dictionary struct {
+	byKey map[string]ID
+	terms []rdf.Term // terms[i] has ID i+1
+}
+
+// New returns an empty dictionary.
+func New() *Dictionary {
+	return &Dictionary{byKey: make(map[string]ID)}
+}
+
+// Encode returns the ID for the term, assigning a fresh one on first sight.
+func (d *Dictionary) Encode(t rdf.Term) ID {
+	k := t.Key()
+	if id, ok := d.byKey[k]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	id := ID(len(d.terms))
+	d.byKey[k] = id
+	return id
+}
+
+// EncodeIRI is Encode over a bare IRI string (after expanding the well-known
+// rdf:/rdfs: prefixes).
+func (d *Dictionary) EncodeIRI(iri string) ID {
+	return d.Encode(rdf.NewIRI(rdf.ExpandIRI(iri)))
+}
+
+// Lookup returns the ID for the term if it is already in the dictionary.
+func (d *Dictionary) Lookup(t rdf.Term) (ID, bool) {
+	id, ok := d.byKey[t.Key()]
+	return id, ok
+}
+
+// LookupIRI is Lookup over a bare IRI string.
+func (d *Dictionary) LookupIRI(iri string) (ID, bool) {
+	return d.Lookup(rdf.NewIRI(rdf.ExpandIRI(iri)))
+}
+
+// Decode returns the term for the ID. It returns an error for IDs that were
+// never assigned.
+func (d *Dictionary) Decode(id ID) (rdf.Term, error) {
+	if id < 1 || int(id) > len(d.terms) {
+		return rdf.Term{}, fmt.Errorf("dict: ID %d out of range [1,%d]", id, len(d.terms))
+	}
+	return d.terms[id-1], nil
+}
+
+// MustDecode is Decode panicking on unknown IDs; for internal use where IDs
+// are known to be valid.
+func (d *Dictionary) MustDecode(id ID) rdf.Term {
+	t, err := d.Decode(id)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the number of distinct terms in the dictionary.
+func (d *Dictionary) Len() int { return len(d.terms) }
+
+// AvgValueLen returns the average length, in bytes, of the lexical forms of
+// the terms whose IDs are given. It is the statistic behind the paper's
+// "average size of a subject, property, respectively object" used in the view
+// space occupancy estimation. Returns def when ids is empty.
+func (d *Dictionary) AvgValueLen(ids []ID, def float64) float64 {
+	if len(ids) == 0 {
+		return def
+	}
+	var total int
+	for _, id := range ids {
+		t, err := d.Decode(id)
+		if err != nil {
+			continue
+		}
+		total += len(t.Value)
+	}
+	return float64(total) / float64(len(ids))
+}
+
+// SortedIDs returns all assigned IDs in increasing order. Mostly useful for
+// deterministic iteration in tests and statistics.
+func (d *Dictionary) SortedIDs() []ID {
+	out := make([]ID, d.Len())
+	for i := range out {
+		out[i] = ID(i + 1)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Terms returns the terms in ID order (Terms()[i] has ID i+1) — the
+// serialization form used by the persistence layer. The returned slice must
+// not be modified.
+func (d *Dictionary) Terms() []rdf.Term { return d.terms }
+
+// FromTerms rebuilds a dictionary from a Terms() slice, preserving IDs.
+func FromTerms(terms []rdf.Term) *Dictionary {
+	d := New()
+	for _, t := range terms {
+		d.Encode(t)
+	}
+	return d
+}

@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"testing"
+
+	"rdfviews/internal/algebra"
+	"rdfviews/internal/cq"
+	"rdfviews/internal/datagen"
+	"rdfviews/internal/store"
+)
+
+func benchData(b *testing.B) (*store.Store, *cq.Parser) {
+	b.Helper()
+	st, _ := datagen.Generate(datagen.Config{Triples: 20000, Seed: 1})
+	st.Count(store.Pattern{})
+	return st, cq.NewParser(st.Dict())
+}
+
+func BenchmarkEvalQueryChain3(b *testing.B) {
+	st, p := benchData(b)
+	q := p.MustParseQuery(
+		"q(X, Z) :- t(X, " + datagen.PropName(0) + ", Y), t(Y, " + datagen.PropName(1) + ", Z)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalQuery(st, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalQueryStar3(b *testing.B) {
+	st, p := benchData(b)
+	q := p.MustParseQuery(
+		"q(X) :- t(X, " + datagen.PropName(0) + ", Y), t(X, " + datagen.PropName(1) + ", Z), t(X, rdf:type, " + datagen.ClassName(0) + ")")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalQuery(st, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteHashJoin(b *testing.B) {
+	st, p := benchData(b)
+	v1 := p.MustParseQuery("q(X, Y) :- t(X, " + datagen.PropName(0) + ", Y)")
+	p.ResetNames()
+	v2 := p.MustParseQuery("q(Y, Z) :- t(Y, " + datagen.PropName(1) + ", Z)")
+	r1, err := Materialize(st, v1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r2, err := Materialize(st, v2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Align labels: v1 = (X, Y), v2 = (Y, Z) joined on Y.
+	y := v1.Head[1]
+	plan := algebra.NewJoin(
+		algebra.NewScan(1, v1.Head),
+		algebra.NewScan(2, []cq.Term{y, v2.Head[1]}),
+	)
+	resolve := MapResolver(map[algebra.ViewID]*Relation{1: r1, 2: r2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(plan, resolve); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaterializeView(b *testing.B) {
+	st, p := benchData(b)
+	v := p.MustParseQuery("q(X, Y) :- t(X, " + datagen.PropName(2) + ", Y)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Materialize(st, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

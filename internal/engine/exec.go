@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"fmt"
+
+	"rdfviews/internal/algebra"
+	"rdfviews/internal/cq"
+)
+
+// ViewResolver supplies the materialized extension of each view a plan scans.
+type ViewResolver func(algebra.ViewID) (*Relation, error)
+
+// MapResolver builds a ViewResolver from a map.
+func MapResolver(m map[algebra.ViewID]*Relation) ViewResolver {
+	return func(id algebra.ViewID) (*Relation, error) {
+		r, ok := m[id]
+		if !ok {
+			return nil, fmt.Errorf("engine: no materialization for view v%d", int(id))
+		}
+		return r, nil
+	}
+}
+
+// Execute evaluates a rewriting plan over materialized views. This is the
+// query-answering path of the three-tier deployment scenario: workload
+// queries run against the recommended views only, with no access to the
+// triple store (Section 1).
+func Execute(p algebra.Plan, resolve ViewResolver) (*Relation, error) {
+	switch n := p.(type) {
+	case *algebra.Scan:
+		return execScan(n, resolve)
+	case *algebra.Select:
+		return execSelect(n, resolve)
+	case *algebra.Project:
+		in, err := Execute(n.Input, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return in.Project(n.Cols)
+	case *algebra.Join:
+		return execJoin(n, resolve)
+	case *algebra.Union:
+		return execUnion(n, resolve)
+	default:
+		return nil, fmt.Errorf("engine: unknown plan node %T", p)
+	}
+}
+
+func execScan(n *algebra.Scan, resolve ViewResolver) (*Relation, error) {
+	base, err := resolve(n.View)
+	if err != nil {
+		return nil, err
+	}
+	if len(n.Cols) != base.Arity() {
+		return nil, fmt.Errorf("engine: scan of v%d relabels %d columns, view has %d",
+			int(n.View), len(n.Cols), base.Arity())
+	}
+	// Share rows; only relabel columns. A scan whose relabeling repeats a
+	// label (possible after fusion renamings) implies an equality filter.
+	out := &Relation{Cols: n.Cols, Rows: base.Rows}
+	if eq := repeatedLabelPairs(n.Cols); len(eq) > 0 {
+		filtered := NewRelation(n.Cols)
+		for _, row := range out.Rows {
+			ok := true
+			for _, pair := range eq {
+				if row[pair[0]] != row[pair[1]] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				filtered.Rows = append(filtered.Rows, row)
+			}
+		}
+		return filtered, nil
+	}
+	return out, nil
+}
+
+func repeatedLabelPairs(cols []cq.Term) [][2]int {
+	var out [][2]int
+	first := make(map[cq.Term]int, len(cols))
+	for i, c := range cols {
+		if j, ok := first[c]; ok {
+			out = append(out, [2]int{j, i})
+		} else {
+			first[c] = i
+		}
+	}
+	return out
+}
+
+func execSelect(n *algebra.Select, resolve ViewResolver) (*Relation, error) {
+	in, err := Execute(n.Input, resolve)
+	if err != nil {
+		return nil, err
+	}
+	type test struct {
+		li, ri int // column indexes; ri < 0 means constant comparison
+		c      Row // single-value constant when ri < 0
+	}
+	tests := make([]test, 0, len(n.Conds))
+	for _, c := range n.Conds {
+		li := in.ColIndex(c.Left)
+		if li < 0 {
+			return nil, fmt.Errorf("engine: selection column %v not in %v", c.Left, in.Cols)
+		}
+		if c.Right.IsConst() {
+			tests = append(tests, test{li: li, ri: -1, c: Row{c.Right.ConstID()}})
+			continue
+		}
+		ri := in.ColIndex(c.Right)
+		if ri < 0 {
+			return nil, fmt.Errorf("engine: selection column %v not in %v", c.Right, in.Cols)
+		}
+		tests = append(tests, test{li: li, ri: ri})
+	}
+	out := NewRelation(in.Cols)
+	for _, row := range in.Rows {
+		ok := true
+		for _, t := range tests {
+			if t.ri < 0 {
+				if row[t.li] != t.c[0] {
+					ok = false
+					break
+				}
+			} else if row[t.li] != row[t.ri] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func execJoin(n *algebra.Join, resolve ViewResolver) (*Relation, error) {
+	left, err := Execute(n.Left, resolve)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Execute(n.Right, resolve)
+	if err != nil {
+		return nil, err
+	}
+	// Join keys: shared labels (natural join) plus explicit conditions.
+	type keyPair struct{ li, ri int }
+	var keys []keyPair
+	for li, c := range left.Cols {
+		if !c.IsVar() {
+			continue
+		}
+		if ri := right.ColIndex(c); ri >= 0 && left.ColIndex(c) == li {
+			keys = append(keys, keyPair{li, ri})
+		}
+	}
+	for _, c := range n.Conds {
+		li := left.ColIndex(c.Left)
+		ri := right.ColIndex(c.Right)
+		if li < 0 || ri < 0 {
+			return nil, fmt.Errorf("engine: join condition %v over %v ⋈ %v", c, left.Cols, right.Cols)
+		}
+		keys = append(keys, keyPair{li, ri})
+	}
+	// Output columns: all left columns, then right columns whose labels are
+	// not already exposed by the left side.
+	outCols := append([]cq.Term(nil), left.Cols...)
+	var rightKeep []int
+	for ri, c := range right.Cols {
+		if c.IsVar() && left.ColIndex(c) >= 0 {
+			continue
+		}
+		rightKeep = append(rightKeep, ri)
+		outCols = append(outCols, c)
+	}
+	out := NewRelation(outCols)
+
+	// Hash join: build on the smaller input.
+	buildRight := right.Len() <= left.Len()
+	hash := make(map[string][]Row)
+	makeKey := func(row Row, idx []int) string {
+		k := make(Row, len(idx))
+		for i, j := range idx {
+			k[i] = row[j]
+		}
+		return rowKey(k)
+	}
+	lIdx := make([]int, len(keys))
+	rIdx := make([]int, len(keys))
+	for i, kp := range keys {
+		lIdx[i], rIdx[i] = kp.li, kp.ri
+	}
+	emit := func(lrow, rrow Row) {
+		nr := make(Row, 0, len(outCols))
+		nr = append(nr, lrow...)
+		for _, ri := range rightKeep {
+			nr = append(nr, rrow[ri])
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	if buildRight {
+		for _, r := range right.Rows {
+			k := makeKey(r, rIdx)
+			hash[k] = append(hash[k], r)
+		}
+		for _, l := range left.Rows {
+			for _, r := range hash[makeKey(l, lIdx)] {
+				emit(l, r)
+			}
+		}
+	} else {
+		for _, l := range left.Rows {
+			k := makeKey(l, lIdx)
+			hash[k] = append(hash[k], l)
+		}
+		for _, r := range right.Rows {
+			for _, l := range hash[makeKey(r, rIdx)] {
+				emit(l, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+func execUnion(n *algebra.Union, resolve ViewResolver) (*Relation, error) {
+	if len(n.Branches) == 0 {
+		return nil, fmt.Errorf("engine: empty union")
+	}
+	var out *Relation
+	seen := make(map[string]struct{})
+	for _, b := range n.Branches {
+		r, err := Execute(b, resolve)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = NewRelation(r.Cols)
+		} else if r.Arity() != out.Arity() {
+			return nil, fmt.Errorf("engine: union arity mismatch: %d vs %d", r.Arity(), out.Arity())
+		}
+		for _, row := range r.Rows {
+			k := rowKey(row)
+			if _, ok := seen[k]; ok {
+				continue
+			}
+			seen[k] = struct{}{}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}

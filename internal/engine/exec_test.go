@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"testing"
+
+	"rdfviews/internal/algebra"
+	"rdfviews/internal/cq"
+)
+
+// Test fixtures: two small relations standing for materialized views.
+//
+//	v1(X1, X2): parent relation
+//	v2(X2, X3): painted relation
+func execFixture() (map[algebra.ViewID]*Relation, []cq.Term) {
+	x1, x2, x3 := cq.Var(1), cq.Var(2), cq.Var(3)
+	v1 := NewRelation([]cq.Term{x1, x2})
+	v1.Rows = []Row{{10, 20}, {11, 21}, {10, 22}}
+	v2 := NewRelation([]cq.Term{x2, x3})
+	v2.Rows = []Row{{20, 100}, {20, 101}, {22, 102}, {30, 103}}
+	return map[algebra.ViewID]*Relation{1: v1, 2: v2}, []cq.Term{x1, x2, x3}
+}
+
+func TestExecuteScanSelectProject(t *testing.T) {
+	views, vars := execFixture()
+	x1, x2 := vars[0], vars[1]
+	scan := algebra.NewScan(1, []cq.Term{x1, x2})
+	sel := algebra.NewSelect(scan, algebra.Cond{Left: x1, Right: cq.Const(10)})
+	proj := algebra.NewProject(sel, []cq.Term{x2})
+	r, err := Execute(proj, MapResolver(views))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 { // 20 and 22
+		t.Fatalf("rows = %d, want 2", r.Len())
+	}
+}
+
+func TestExecuteNaturalJoin(t *testing.T) {
+	views, vars := execFixture()
+	x1, x2, x3 := vars[0], vars[1], vars[2]
+	join := algebra.NewJoin(
+		algebra.NewScan(1, []cq.Term{x1, x2}),
+		algebra.NewScan(2, []cq.Term{x2, x3}),
+	)
+	r, err := Execute(join, MapResolver(views))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (10,20)x(20,100),(20,101); (10,22)x(22,102): 3 rows; x2=21,30 unmatched.
+	if r.Len() != 3 {
+		t.Fatalf("rows = %d, want 3", r.Len())
+	}
+	if r.Arity() != 3 {
+		t.Fatalf("arity = %d, want 3 (shared column exposed once)", r.Arity())
+	}
+}
+
+func TestExecuteJoinExplicitCond(t *testing.T) {
+	// Join-cut style: v1(X1, X2) ⋈[X2=X4] v2(X4, X3) with distinct labels.
+	views, vars := execFixture()
+	x1, x2, x3 := vars[0], vars[1], vars[2]
+	x4 := cq.Var(4)
+	// Relabel v2's first column to X4.
+	join := algebra.NewJoin(
+		algebra.NewScan(1, []cq.Term{x1, x2}),
+		algebra.NewScan(2, []cq.Term{x4, x3}),
+		algebra.Cond{Left: x2, Right: x4},
+	)
+	r, err := Execute(join, MapResolver(views))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("rows = %d, want 3", r.Len())
+	}
+	if r.Arity() != 4 { // x1, x2, x4, x3 all kept
+		t.Fatalf("arity = %d, want 4", r.Arity())
+	}
+	ix2, ix4 := r.ColIndex(x2), r.ColIndex(x4)
+	for _, row := range r.Rows {
+		if row[ix2] != row[ix4] {
+			t.Fatal("join condition violated")
+		}
+	}
+}
+
+func TestExecuteSelectColEqCol(t *testing.T) {
+	x1, x2 := cq.Var(1), cq.Var(2)
+	v := NewRelation([]cq.Term{x1, x2})
+	v.Rows = []Row{{5, 5}, {5, 6}, {7, 7}}
+	views := map[algebra.ViewID]*Relation{1: v}
+	sel := algebra.NewSelect(algebra.NewScan(1, []cq.Term{x1, x2}),
+		algebra.Cond{Left: x1, Right: x2})
+	r, err := Execute(sel, MapResolver(views))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("rows = %d, want 2", r.Len())
+	}
+}
+
+func TestExecuteUnion(t *testing.T) {
+	views, vars := execFixture()
+	x1, x2 := vars[0], vars[1]
+	u := algebra.NewUnion(
+		algebra.NewScan(1, []cq.Term{x1, x2}),
+		algebra.NewScan(1, []cq.Term{x1, x2}),
+	)
+	r, err := Execute(u, MapResolver(views))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 { // duplicates collapse
+		t.Fatalf("rows = %d, want 3", r.Len())
+	}
+}
+
+func TestExecuteScanRepeatedLabelFilters(t *testing.T) {
+	x1 := cq.Var(1)
+	v := NewRelation([]cq.Term{cq.Var(10), cq.Var(11)})
+	v.Rows = []Row{{5, 5}, {5, 6}}
+	views := map[algebra.ViewID]*Relation{3: v}
+	// Scan relabels both columns to X1: implicit equality filter.
+	r, err := Execute(algebra.NewScan(3, []cq.Term{x1, x1}), MapResolver(views))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("rows = %d, want 1", r.Len())
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	views, vars := execFixture()
+	x1, x2 := vars[0], vars[1]
+	resolve := MapResolver(views)
+	cases := []algebra.Plan{
+		algebra.NewScan(99, []cq.Term{x1, x2}), // unknown view
+		algebra.NewScan(1, []cq.Term{x1}),      // arity mismatch
+		algebra.NewSelect(algebra.NewScan(1, []cq.Term{x1, x2}), algebra.Cond{Left: cq.Var(99), Right: cq.Const(1)}), // bad column
+		algebra.NewProject(algebra.NewScan(1, []cq.Term{x1, x2}), []cq.Term{cq.Var(99)}),                             // bad column
+		algebra.NewUnion(), // empty union
+		algebra.NewUnion(algebra.NewScan(1, []cq.Term{x1, x2}), algebra.NewProject(algebra.NewScan(1, []cq.Term{x1, x2}), []cq.Term{x1})), // arity mismatch
+		algebra.NewJoin(algebra.NewScan(1, []cq.Term{x1, x2}), algebra.NewScan(2, []cq.Term{x2, cq.Var(3)}), algebra.Cond{Left: cq.Var(98), Right: cq.Var(97)}),
+	}
+	for i, p := range cases {
+		if _, err := Execute(p, resolve); err == nil {
+			t.Errorf("case %d (%s) should fail", i, p)
+		}
+	}
+}
+
+func TestSubstituteViewsSharing(t *testing.T) {
+	_, vars := execFixture()
+	x1, x2 := vars[0], vars[1]
+	scan1 := algebra.NewScan(1, []cq.Term{x1, x2})
+	scan2 := algebra.NewScan(2, []cq.Term{x2, vars[2]})
+	join := algebra.NewJoin(scan1, scan2)
+	replacement := algebra.NewSelect(algebra.NewScan(7, []cq.Term{x1, x2}))
+	out := algebra.SubstituteViews(join, map[algebra.ViewID]algebra.Plan{1: replacement})
+	j, ok := out.(*algebra.Join)
+	if !ok {
+		t.Fatal("substitution changed node type")
+	}
+	if j.Left != algebra.Plan(replacement) {
+		t.Error("left not substituted")
+	}
+	if j.Right != algebra.Plan(scan2) {
+		t.Error("right should be shared unchanged")
+	}
+	// No-op substitution returns the same tree.
+	same := algebra.SubstituteViews(join, map[algebra.ViewID]algebra.Plan{9: replacement})
+	if same != algebra.Plan(join) {
+		t.Error("no-op substitution should share the tree")
+	}
+}
+
+func TestPlanStringAndViews(t *testing.T) {
+	_, vars := execFixture()
+	x1, x2 := vars[0], vars[1]
+	plan := algebra.NewProject(
+		algebra.NewSelect(
+			algebra.NewJoin(
+				algebra.NewScan(1, []cq.Term{x1, x2}),
+				algebra.NewUnion(algebra.NewScan(2, []cq.Term{x2, vars[2]}), algebra.NewScan(3, []cq.Term{x2, vars[2]})),
+			),
+			algebra.Cond{Left: x1, Right: cq.Const(5)},
+		),
+		[]cq.Term{x1},
+	)
+	if plan.String() == "" {
+		t.Error("empty String")
+	}
+	ids := algebra.SortedViewIDs(plan)
+	if len(ids) != 3 || ids[0] != 1 || ids[2] != 3 {
+		t.Errorf("SortedViewIDs = %v", ids)
+	}
+	cols := plan.Columns()
+	if len(cols) != 1 || cols[0] != x1 {
+		t.Errorf("Columns = %v", cols)
+	}
+}

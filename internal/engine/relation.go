@@ -1,0 +1,150 @@
+// Package engine implements query evaluation: conjunctive queries and unions
+// thereof over the indexed triple store (the stand-in for the paper's
+// PostgreSQL triple table), materialization of views, and execution of the
+// select-project-join-union rewriting plans produced by the search. All
+// evaluation uses set semantics, matching the distinct answers of conjunctive
+// query theory that the paper's definitions are built on.
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"rdfviews/internal/cq"
+	"rdfviews/internal/dict"
+)
+
+// Row is one result tuple of dictionary-encoded values.
+type Row []dict.ID
+
+// Relation is a materialized set of rows with labeled columns. Column labels
+// are cq terms: the head terms of the view the relation materializes, or the
+// relabeled columns of a plan node.
+type Relation struct {
+	Cols []cq.Term
+	Rows []Row
+}
+
+// NewRelation returns an empty relation with the given column labels.
+func NewRelation(cols []cq.Term) *Relation {
+	return &Relation{Cols: append([]cq.Term(nil), cols...)}
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return len(r.Cols) }
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// ColIndex returns the index of the first column with the given label, or -1.
+func (r *Relation) ColIndex(label cq.Term) int {
+	for i, c := range r.Cols {
+		if c == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// rowKey serializes a row for set-semantics deduplication.
+func rowKey(row Row) string {
+	buf := make([]byte, 8*len(row))
+	for i, v := range row {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+	}
+	return string(buf)
+}
+
+// Dedup returns a relation with duplicate rows removed (first kept).
+func (r *Relation) Dedup() *Relation {
+	seen := make(map[string]struct{}, len(r.Rows))
+	out := NewRelation(r.Cols)
+	for _, row := range r.Rows {
+		k := rowKey(row)
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// SortRows orders rows lexicographically in place, for deterministic output.
+func (r *Relation) SortRows() {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i], r.Rows[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// EqualAsSet reports whether two relations hold the same set of rows
+// (column labels are ignored; arity must match).
+func (r *Relation) EqualAsSet(other *Relation) bool {
+	if r.Arity() != other.Arity() {
+		return false
+	}
+	a := make(map[string]struct{}, len(r.Rows))
+	for _, row := range r.Rows {
+		a[rowKey(row)] = struct{}{}
+	}
+	b := make(map[string]struct{}, len(other.Rows))
+	for _, row := range other.Rows {
+		b[rowKey(row)] = struct{}{}
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns the projection of r onto the given labels; constant labels
+// project as constant columns. Output is deduplicated.
+func (r *Relation) Project(cols []cq.Term) (*Relation, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		if c.IsConst() {
+			idx[i] = -1
+			continue
+		}
+		j := r.ColIndex(c)
+		if j < 0 {
+			return nil, fmt.Errorf("engine: projection column %v not in %v", c, r.Cols)
+		}
+		idx[i] = j
+	}
+	out := NewRelation(cols)
+	seen := make(map[string]struct{}, len(r.Rows))
+	for _, row := range r.Rows {
+		nr := make(Row, len(cols))
+		for i, j := range idx {
+			if j < 0 {
+				nr[i] = cols[i].ConstID()
+			} else {
+				nr[i] = row[j]
+			}
+		}
+		k := rowKey(nr)
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+// SizeBytes estimates the in-memory footprint of the relation's data
+// (8 bytes per value), used by tests and reports on view storage.
+func (r *Relation) SizeBytes() int { return 8 * len(r.Rows) * len(r.Cols) }

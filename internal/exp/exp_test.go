@@ -1,0 +1,207 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rdfviews/internal/workload"
+)
+
+// tinyScale keeps the whole experiment suite test under a few seconds.
+func tinyScale() Scale {
+	return Scale{Budget: 150 * time.Millisecond, Triples: 4000, MaxStates: 4000, Seed: 2011}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	res := Figure4(tinyScale())
+	if len(res.Cells) != 2*2*2*len(fig4Strategies) {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	// Paper finding: on 10-atom workloads the [21] strategies fail (OOM),
+	// while DFS and GSTR produce solutions.
+	for _, c := range res.Cells {
+		if c.Atoms != 10 {
+			continue
+		}
+		switch c.Strategy {
+		case "DFS-AVF-STV", "GSTR-AVF-STV":
+			if c.OOM {
+				t.Errorf("%s must not exhaust the budget on %v/%v", c.Strategy, c.Shape, c.Commonality)
+			}
+			if c.RCR < 0 {
+				t.Errorf("%s negative rcr", c.Strategy)
+			}
+		default:
+			if !c.OOM {
+				t.Logf("note: %s completed on 10-atom %v/%v (budget generous at tiny scale)",
+					c.Strategy, c.Shape, c.Commonality)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 4") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	// 2 atoms per query: the space completes in milliseconds (the 4-atom
+	// paper configuration is exercised by the Figure 5 bench and expdriver).
+	sc := tinyScale()
+	sc.Budget = 5 * time.Second
+	sc.MaxStates = 500000
+	res := Figure5(sc, 2)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]Fig5Row{}
+	for _, r := range res.Rows {
+		byName[r.Heuristics] = r
+	}
+	// AVF and STV must not create more states than NONE; AVF-STV ≤ STV.
+	if byName["AVF"].Counters.Created > byName["NONE"].Counters.Created {
+		t.Errorf("AVF created more states than NONE: %d > %d",
+			byName["AVF"].Counters.Created, byName["NONE"].Counters.Created)
+	}
+	if byName["STV"].Counters.Created > byName["NONE"].Counters.Created {
+		t.Errorf("STV created more states than NONE")
+	}
+	if byName["AVF-STV"].Counters.Created > byName["STV"].Counters.Created {
+		t.Errorf("AVF-STV created more states than STV")
+	}
+	// All four complete at this scale and find the same best cost (AVF
+	// preserves optimality; STV only discards all-variable states, which are
+	// never optimal here).
+	for name, r := range byName {
+		if !r.Completed {
+			t.Errorf("%s did not complete", name)
+		}
+		if r.BestCost != byName["NONE"].BestCost {
+			t.Errorf("%s best cost %g differs from NONE %g (AVF/STV must preserve the optimum)",
+				name, r.BestCost, byName["NONE"].BestCost)
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 5") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	res := Figure6(tinyScale(), []int{5}, 5)
+	if len(res.Cells) == 0 {
+		t.Fatal("no cells")
+	}
+	for _, c := range res.Cells {
+		if c.RCR < 0 || c.RCR > 1 {
+			t.Errorf("rcr out of range: %+v", c)
+		}
+	}
+	if res.AvgAtomsDFS <= 0 || res.AvgAtomsGSTR <= 0 {
+		t.Error("avg atoms missing")
+	}
+	// Section 6.4: GSTR keeps larger views than DFS.
+	if res.AvgAtomsGSTR < res.AvgAtomsDFS {
+		t.Logf("note: GSTR views (%0.2f atoms) smaller than DFS (%0.2f) at tiny scale",
+			res.AvgAtomsGSTR, res.AvgAtomsDFS)
+	}
+	if !strings.Contains(res.String(), "Figure 6") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestReformExperimentShape(t *testing.T) {
+	res, err := ReformExperiment(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table3) != 2 {
+		t.Fatalf("table3 rows = %d", len(res.Table3))
+	}
+	for _, row := range res.Table3 {
+		// Reformulation can only grow the workload.
+		if row.RefQueries < row.Queries || row.RefAtoms < row.Atoms {
+			t.Errorf("reformulation shrank workload: %+v", row)
+		}
+	}
+	// Q1 ⊂ Q2.
+	if res.Table3[0].Queries != 5 || res.Table3[1].Queries != 10 {
+		t.Errorf("workload sizes: %+v", res.Table3)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if s.Final > s.Initial {
+			t.Errorf("%s/%s: final %g above initial %g", s.Workload, s.Mode, s.Final, s.Initial)
+		}
+		if len(s.Timeline) == 0 {
+			t.Errorf("%s/%s: empty timeline", s.Workload, s.Mode)
+		}
+		if s.TimelineCSV() == "" {
+			t.Error("CSV rendering broken")
+		}
+	}
+	if !strings.Contains(res.String(), "Table 3") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	res, err := Figure8(tinyScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (Q1)", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Saturated <= 0 || r.RDF3X <= 0 {
+			t.Errorf("missing timings: %+v", r)
+		}
+	}
+	if res.MatRowsPost == 0 || res.DatabaseRows == 0 {
+		t.Error("materialization stats missing")
+	}
+	if !strings.Contains(res.String(), "Figure 8") {
+		t.Error("rendering broken")
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	s := Table2()
+	for _, want := range []string{"isExpIn", "isLocatIn", "painting", "picture", "q1,S", "q4,S"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table2 output missing %q", want)
+		}
+	}
+}
+
+func TestScalesAndTestbed(t *testing.T) {
+	if SmallScale().Budget <= 0 || MediumScale().Budget <= SmallScale().Budget {
+		t.Error("scales misordered")
+	}
+	tb := newTestbed(tinyScale())
+	if tb.st.Len() == 0 || tb.schema.Len() == 0 {
+		t.Error("testbed empty")
+	}
+	qs := tb.genWorkload(3, 4, workload.Star, workload.Low, 1)
+	if len(qs) != 3 {
+		t.Error("genWorkload broken")
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	sc := tinyScale()
+	res := Ablation(sc, 3, 3)
+	if len(res.Rows) != 16 {
+		t.Fatalf("rows = %d, want 16 (4 strategies × 4 heuristic combos)", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.RCR < 0 || r.Created < 0 {
+			t.Errorf("bad row: %+v", r)
+		}
+	}
+	if !strings.Contains(res.String(), "Ablation") {
+		t.Error("rendering broken")
+	}
+}

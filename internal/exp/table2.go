@@ -1,0 +1,36 @@
+package exp
+
+import (
+	"rdfviews/internal/cq"
+	"rdfviews/internal/dict"
+	"rdfviews/internal/rdf"
+	"rdfviews/internal/reason"
+)
+
+// Table2 renders the paper's Table 2: the term reformulations of
+//
+//	q1(X1)     :- t(X1, rdf:type, picture)
+//	q4(X1, X2) :- t(X1, X2, picture)
+//
+// under S = { painting ⊑ picture, isExpIn ⊑p isLocatIn }. A golden test in
+// internal/reason asserts the exact six-term content; this harness prints it.
+func Table2() string {
+	d := dict.New()
+	sch := rdf.NewSchema()
+	sch.AddSubClass("painting", "picture")
+	sch.AddSubProperty("isExpIn", "isLocatIn")
+	s := reason.NewSchema(sch, d)
+	p := cq.NewParser(d)
+
+	q1 := p.MustParseQuery("q(X1) :- t(X1, rdf:type, picture)")
+	u1 := reason.MustReformulate(q1, s)
+	p.ResetNames()
+	q4 := p.MustParseQuery("q(X1, X2) :- t(X1, X2, picture)")
+	u4 := reason.MustReformulate(q4, s)
+
+	out := "Table 2: term reformulation for post-reasoning\n"
+	out += "S = { painting rdfs:subClassOf picture, isExpIn rdfs:subPropertyOf isLocatIn }\n\n"
+	out += "q1,S =\n    " + u1.Format(d) + "\n\n"
+	out += "q4,S =\n    " + u4.Format(d) + "\n"
+	return out
+}

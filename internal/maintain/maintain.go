@@ -1,0 +1,261 @@
+// Package maintain implements incremental maintenance of materialized views
+// under triple insertions and deletions — the operational counterpart of the
+// paper's view maintenance cost VMC (Section 3.3), which charges f^len(v)
+// per update for exactly the delta propagation performed here.
+//
+// Inserting a triple t+ into the store adds to each view v the tuples of the
+// delta queries obtained by binding one atom of v to t+ (the f1·f2·…·f_len(v)
+// joins the paper's model counts). Deleting t− is set-semantics DRed:
+// candidate tuples derived through t− are re-checked against the updated
+// store and removed only when no alternative derivation remains.
+package maintain
+
+import (
+	"fmt"
+
+	"rdfviews/internal/algebra"
+	"rdfviews/internal/cq"
+	"rdfviews/internal/dict"
+	"rdfviews/internal/engine"
+	"rdfviews/internal/store"
+)
+
+// Maintainer keeps the extents of a view set synchronized with its store.
+type Maintainer struct {
+	st    *store.Store
+	views map[algebra.ViewID]*cq.Query
+
+	extents map[algebra.ViewID]*extent
+}
+
+// extent is a relation plus a row index for O(1) membership and deletion.
+type extent struct {
+	rel   *engine.Relation
+	index map[string]int // row key -> position in rel.Rows
+}
+
+func newExtent(rel *engine.Relation) *extent {
+	e := &extent{rel: rel, index: make(map[string]int, rel.Len())}
+	for i, row := range rel.Rows {
+		e.index[rowKey(row)] = i
+	}
+	return e
+}
+
+func (e *extent) add(row engine.Row) bool {
+	k := rowKey(row)
+	if _, ok := e.index[k]; ok {
+		return false
+	}
+	e.index[k] = len(e.rel.Rows)
+	e.rel.Rows = append(e.rel.Rows, row)
+	return true
+}
+
+func (e *extent) remove(row engine.Row) bool {
+	k := rowKey(row)
+	i, ok := e.index[k]
+	if !ok {
+		return false
+	}
+	last := len(e.rel.Rows) - 1
+	moved := e.rel.Rows[last]
+	e.rel.Rows[i] = moved
+	e.rel.Rows = e.rel.Rows[:last]
+	delete(e.index, k)
+	if i != last {
+		e.index[rowKey(moved)] = i
+	}
+	return true
+}
+
+func rowKey(row engine.Row) string {
+	buf := make([]byte, 8*len(row))
+	for i, v := range row {
+		u := uint64(v)
+		for b := 0; b < 8; b++ {
+			buf[i*8+b] = byte(u >> (8 * b))
+		}
+	}
+	return string(buf)
+}
+
+// New materializes every view and returns a maintainer over them. The store
+// must be updated only through the maintainer from then on.
+func New(st *store.Store, views map[algebra.ViewID]*cq.Query) (*Maintainer, error) {
+	m := &Maintainer{
+		st:      st,
+		views:   make(map[algebra.ViewID]*cq.Query, len(views)),
+		extents: make(map[algebra.ViewID]*extent, len(views)),
+	}
+	for id, v := range views {
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("maintain: view v%d: %w", int(id), err)
+		}
+		rel, err := engine.Materialize(st, v)
+		if err != nil {
+			return nil, err
+		}
+		m.views[id] = v.Clone()
+		m.extents[id] = newExtent(rel)
+	}
+	return m, nil
+}
+
+// Extent returns the current materialization of a view. The caller must not
+// modify it.
+func (m *Maintainer) Extent(id algebra.ViewID) (*engine.Relation, bool) {
+	e, ok := m.extents[id]
+	if !ok {
+		return nil, false
+	}
+	return e.rel, true
+}
+
+// Resolver adapts the maintainer to plan execution.
+func (m *Maintainer) Resolver() engine.ViewResolver {
+	return func(id algebra.ViewID) (*engine.Relation, error) {
+		e, ok := m.extents[id]
+		if !ok {
+			return nil, fmt.Errorf("maintain: unknown view v%d", int(id))
+		}
+		return e.rel, nil
+	}
+}
+
+// Insert adds the triple to the store and propagates the delta to every
+// view. It returns the number of view tuples added.
+func (m *Maintainer) Insert(t store.Triple) (int, error) {
+	if !m.st.Add(t) {
+		return 0, nil // duplicate: no deltas under set semantics
+	}
+	added := 0
+	for id, v := range m.views {
+		ext := m.extents[id]
+		rows, err := m.deltaRows(v, t)
+		if err != nil {
+			return added, err
+		}
+		for _, row := range rows {
+			if ext.add(row) {
+				added++
+			}
+		}
+	}
+	return added, nil
+}
+
+// Delete removes the triple from the store and propagates the deletion:
+// candidate tuples (those with a derivation through the deleted triple) are
+// kept only if they can be re-derived from the remaining triples.
+func (m *Maintainer) Delete(t store.Triple) (int, error) {
+	if !m.st.Contains(t) {
+		return 0, nil
+	}
+	// Candidates are computed against the store still containing t.
+	candidates := make(map[algebra.ViewID][]engine.Row, len(m.views))
+	for id, v := range m.views {
+		rows, err := m.deltaRows(v, t)
+		if err != nil {
+			return 0, err
+		}
+		candidates[id] = rows
+	}
+	m.st.Remove(t)
+	removed := 0
+	for id, rows := range candidates {
+		v := m.views[id]
+		ext := m.extents[id]
+		for _, row := range rows {
+			derivable, err := m.rederivable(v, row)
+			if err != nil {
+				return removed, err
+			}
+			if !derivable && ext.remove(row) {
+				removed++
+			}
+		}
+	}
+	return removed, nil
+}
+
+// deltaRows evaluates the delta of view v for triple t: the union over atoms
+// of v unifying with t of the view with that atom's variables bound.
+func (m *Maintainer) deltaRows(v *cq.Query, t store.Triple) ([]engine.Row, error) {
+	seen := make(map[string]struct{})
+	var out []engine.Row
+	for i := range v.Atoms {
+		qb, ok := bindAtom(v, i, t)
+		if !ok {
+			continue
+		}
+		rel, err := engine.EvalQuery(m.st, qb)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rel.Rows {
+			k := rowKey(row)
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				out = append(out, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+// bindAtom unifies atom i of v with the triple; on success it returns v with
+// the atom's variables substituted by the triple's values (so the head may
+// gain constants, which evaluation supports).
+func bindAtom(v *cq.Query, i int, t store.Triple) (*cq.Query, bool) {
+	bind := make(map[cq.Term]dict.ID, 3)
+	a := v.Atoms[i]
+	for p := 0; p < 3; p++ {
+		term := a[p]
+		if term.IsConst() {
+			if term.ConstID() != t[p] {
+				return nil, false
+			}
+			continue
+		}
+		if prev, ok := bind[term]; ok {
+			if prev != t[p] {
+				return nil, false
+			}
+			continue
+		}
+		bind[term] = t[p]
+	}
+	out := v
+	for term, val := range bind {
+		out = out.Substitute(term, cq.Const(val))
+	}
+	return out, true
+}
+
+// rederivable reports whether the view still derives the tuple from the
+// current store: the view with its head bound to the tuple has an answer.
+func (m *Maintainer) rederivable(v *cq.Query, row engine.Row) (bool, error) {
+	q := v
+	for i, h := range v.Head {
+		if h.IsVar() {
+			q = q.Substitute(h, cq.Const(row[i]))
+		} else if h.ConstID() != row[i] {
+			return false, nil
+		}
+	}
+	rel, err := engine.EvalQuery(m.st, q)
+	if err != nil {
+		return false, err
+	}
+	return rel.Len() > 0, nil
+}
+
+// NumRows returns the total tuples across all extents.
+func (m *Maintainer) NumRows() int {
+	n := 0
+	for _, e := range m.extents {
+		n += e.rel.Len()
+	}
+	return n
+}

@@ -1,0 +1,170 @@
+// Package persist serializes the library's artifacts: database snapshots
+// (dictionary + triples + schema) and view bundles — the self-contained
+// client shipment of the paper's three-tier scenario: recommended view
+// definitions, their materialized extents, one rewriting plan per workload
+// query, and the dictionary needed to decode answers. A client loading a
+// bundle answers every workload query with no database connection.
+//
+// The format is stdlib encoding/gob with the plan node types registered.
+package persist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"rdfviews/internal/algebra"
+	"rdfviews/internal/cq"
+	"rdfviews/internal/dict"
+	"rdfviews/internal/engine"
+	"rdfviews/internal/rdf"
+	"rdfviews/internal/store"
+)
+
+func init() {
+	gob.Register(&algebra.Scan{})
+	gob.Register(&algebra.Select{})
+	gob.Register(&algebra.Project{})
+	gob.Register(&algebra.Join{})
+	gob.Register(&algebra.Union{})
+}
+
+// FormatVersion guards against loading bundles written by an incompatible
+// release.
+const FormatVersion = 1
+
+// databaseImage is the gob form of a database snapshot.
+type databaseImage struct {
+	Version int
+	Terms   []rdf.Term
+	Triples []store.Triple
+	Schema  []rdf.Statement
+}
+
+// SaveDatabase writes a snapshot of the store and schema.
+func SaveDatabase(w io.Writer, st *store.Store, schema *rdf.Schema) error {
+	img := databaseImage{
+		Version: FormatVersion,
+		Terms:   st.Dict().Terms(),
+		Triples: st.Triples(),
+	}
+	if schema != nil {
+		img.Schema = schema.Statements()
+	}
+	return gob.NewEncoder(w).Encode(&img)
+}
+
+// LoadDatabase reads a snapshot back into a fresh store and schema.
+func LoadDatabase(r io.Reader) (*store.Store, *rdf.Schema, error) {
+	var img databaseImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, nil, fmt.Errorf("persist: decoding database: %w", err)
+	}
+	if img.Version != FormatVersion {
+		return nil, nil, fmt.Errorf("persist: unsupported format version %d", img.Version)
+	}
+	st := store.NewWithDict(dict.FromTerms(img.Terms))
+	for _, t := range img.Triples {
+		st.Add(t)
+	}
+	schema := rdf.NewSchema()
+	for _, s := range img.Schema {
+		schema.Add(s)
+	}
+	return st, schema, nil
+}
+
+// BundleView is one view of a bundle: its definition and extent.
+type BundleView struct {
+	ID    algebra.ViewID
+	Head  []cq.Term
+	Atoms []cq.Atom
+	Cols  []cq.Term
+	Rows  []engine.Row
+}
+
+// Bundle is the client shipment: everything needed to answer the workload
+// off-line.
+type Bundle struct {
+	Version int
+	// Terms is the dictionary (decode answers; IDs are positions + 1).
+	Terms []rdf.Term
+	// QueryTexts renders each workload query (documentation only).
+	QueryTexts []string
+	// Plans holds one rewriting per workload query, over the bundle views.
+	Plans []algebra.Plan
+	// Views holds definitions and extents.
+	Views []BundleView
+}
+
+// NewBundle assembles a bundle from a recommendation's parts.
+func NewBundle(d *dict.Dictionary, queries []*cq.Query, plans []algebra.Plan,
+	views map[algebra.ViewID]*cq.Query, extents map[algebra.ViewID]*engine.Relation) (*Bundle, error) {
+	b := &Bundle{Version: FormatVersion, Terms: d.Terms(), Plans: plans}
+	for _, q := range queries {
+		b.QueryTexts = append(b.QueryTexts, q.Format(d))
+	}
+	for id, v := range views {
+		ext, ok := extents[id]
+		if !ok {
+			return nil, fmt.Errorf("persist: view v%d has no extent", int(id))
+		}
+		b.Views = append(b.Views, BundleView{
+			ID:    id,
+			Head:  v.Head,
+			Atoms: v.Atoms,
+			Cols:  ext.Cols,
+			Rows:  ext.Rows,
+		})
+	}
+	return b, nil
+}
+
+// Save writes the bundle.
+func (b *Bundle) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(b)
+}
+
+// LoadBundle reads a bundle.
+func LoadBundle(r io.Reader) (*Bundle, error) {
+	var b Bundle
+	if err := gob.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("persist: decoding bundle: %w", err)
+	}
+	if b.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported format version %d", b.Version)
+	}
+	return &b, nil
+}
+
+// Dict rebuilds the bundle's dictionary.
+func (b *Bundle) Dict() *dict.Dictionary { return dict.FromTerms(b.Terms) }
+
+// Resolver exposes the bundled extents to plan execution.
+func (b *Bundle) Resolver() engine.ViewResolver {
+	byID := make(map[algebra.ViewID]*engine.Relation, len(b.Views))
+	for _, v := range b.Views {
+		byID[v.ID] = &engine.Relation{Cols: v.Cols, Rows: v.Rows}
+	}
+	return engine.MapResolver(byID)
+}
+
+// Answer executes the rewriting of query i over the bundled views.
+func (b *Bundle) Answer(i int) (*engine.Relation, error) {
+	if i < 0 || i >= len(b.Plans) {
+		return nil, fmt.Errorf("persist: query index %d out of range", i)
+	}
+	return engine.Execute(b.Plans[i], b.Resolver())
+}
+
+// NumQueries returns the workload size.
+func (b *Bundle) NumQueries() int { return len(b.Plans) }
+
+// NumRows returns the total bundled tuples.
+func (b *Bundle) NumRows() int {
+	n := 0
+	for _, v := range b.Views {
+		n += len(v.Rows)
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"rdfviews/internal/algebra"
+	"rdfviews/internal/cq"
+	"rdfviews/internal/engine"
+	"rdfviews/internal/rdf"
+	"rdfviews/internal/store"
+)
+
+func TestDatabaseImageRoundTrip(t *testing.T) {
+	st := store.New()
+	st.MustAddGraph(rdf.MustParse(`
+u1 hasPainted starryNight .
+u2 name "Vincent" .
+_:b knows u1 .
+`))
+	schema := rdf.NewSchema()
+	schema.AddSubClass("painting", "picture")
+	schema.AddDomain("hasPainted", "painter")
+
+	var buf bytes.Buffer
+	if err := SaveDatabase(&buf, st, schema); err != nil {
+		t.Fatal(err)
+	}
+	st2, schema2, err := LoadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != st.Len() {
+		t.Fatalf("triples %d != %d", st2.Len(), st.Len())
+	}
+	for _, tr := range st.Triples() {
+		if !st2.Contains(tr) {
+			t.Errorf("missing triple %v", tr)
+		}
+	}
+	if schema2.Len() != schema.Len() {
+		t.Fatalf("schema %d != %d", schema2.Len(), schema.Len())
+	}
+	// Dictionary IDs are preserved: same terms decode identically.
+	for _, id := range st.Dict().SortedIDs() {
+		a := st.Dict().MustDecode(id)
+		b := st2.Dict().MustDecode(id)
+		if a != b {
+			t.Fatalf("ID %d decodes differently: %v vs %v", id, a, b)
+		}
+	}
+}
+
+func TestSaveDatabaseNilSchema(t *testing.T) {
+	st := store.New()
+	st.MustAddGraph(rdf.MustParse("a p b ."))
+	var buf bytes.Buffer
+	if err := SaveDatabase(&buf, st, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, schema, err := LoadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Len() != 0 {
+		t.Error("nil schema should load empty")
+	}
+}
+
+func TestBundleRoundTripAllPlanNodes(t *testing.T) {
+	st := store.New()
+	st.MustAddGraph(rdf.MustParse(`
+u1 hasPainted starryNight .
+u1 isParentOf u2 .
+u2 hasPainted irises .
+`))
+	p := cq.NewParser(st.Dict())
+	v1 := p.MustParseQuery("q(X, Y) :- t(X, hasPainted, Y)")
+	p.ResetNames()
+	v2 := p.MustParseQuery("q(X, Y) :- t(X, isParentOf, Y)")
+	views := map[algebra.ViewID]*cq.Query{1: v1, 2: v2}
+	extents := map[algebra.ViewID]*engine.Relation{}
+	for id, v := range views {
+		rel, err := engine.Materialize(st, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		extents[id] = rel
+	}
+	x, y, z := v1.Head[0], v1.Head[1], v2.Head[1]
+	// A plan exercising every node type.
+	plan := algebra.NewProject(
+		algebra.NewSelect(
+			algebra.NewJoin(
+				algebra.NewScan(2, []cq.Term{x, z}),
+				algebra.NewUnion(
+					algebra.NewScan(1, []cq.Term{z, y}),
+					algebra.NewScan(1, []cq.Term{z, y}),
+				),
+			),
+			algebra.Cond{Left: x, Right: x},
+		),
+		[]cq.Term{x, y},
+	)
+	queries := []*cq.Query{{Head: []cq.Term{x, y}, Atoms: v1.Atoms}}
+	b, err := NewBundle(st.Dict(), queries, []algebra.Plan{plan}, views, extents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := b.Answer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Answer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualAsSet(want) {
+		t.Fatalf("bundle answers changed across roundtrip: %d vs %d rows", got.Len(), want.Len())
+	}
+	if back.NumQueries() != 1 || back.NumRows() != b.NumRows() {
+		t.Error("bundle metadata wrong")
+	}
+}
+
+func TestNewBundleMissingExtent(t *testing.T) {
+	st := store.New()
+	p := cq.NewParser(st.Dict())
+	v := p.MustParseQuery("q(X) :- t(X, p, o)")
+	_, err := NewBundle(st.Dict(), nil, nil,
+		map[algebra.ViewID]*cq.Query{1: v}, map[algebra.ViewID]*engine.Relation{})
+	if err == nil {
+		t.Fatal("missing extent accepted")
+	}
+}

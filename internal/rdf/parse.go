@@ -1,0 +1,205 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseError describes a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rdf: parse error at line %d: %s", e.Line, e.Msg)
+}
+
+// Parse reads triples in a line-oriented N-Triples-style syntax:
+//
+//	<http://ex/u1> <http://ex/hasPainted> <http://ex/starryNight> .
+//	u1 hasPainted starryNight .
+//	u1 rdf:type painter .
+//	u2 name "Vincent" .
+//	_:b hasPainted starryNight .
+//
+// Terms are <full-iris>, "literals" (with \" and \\ escapes), _:blank nodes,
+// or bare tokens which are treated as IRIs after expanding the well-known
+// rdf:/rdfs: prefixes. The trailing dot is optional; '#' starts a comment.
+func Parse(r io.Reader) (Graph, error) {
+	var g Graph
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		t, ok, err := ParseLine(sc.Text())
+		if err != nil {
+			return nil, &ParseError{Line: line, Msg: err.Error()}
+		}
+		if ok {
+			g = append(g, t)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rdf: reading input: %w", err)
+	}
+	return g, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (Graph, error) { return Parse(strings.NewReader(s)) }
+
+// MustParse parses the input and panics on error. Intended for tests and
+// examples with constant inputs.
+func MustParse(s string) Graph {
+	g, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ParseLine parses a single line. ok is false for blank and comment lines.
+func ParseLine(s string) (t Triple, ok bool, err error) {
+	toks, err := tokenize(s)
+	if err != nil {
+		return Triple{}, false, err
+	}
+	if len(toks) == 0 {
+		return Triple{}, false, nil
+	}
+	if len(toks) == 4 && toks[3] == "." {
+		toks = toks[:3]
+	}
+	if len(toks) != 3 {
+		return Triple{}, false, fmt.Errorf("expected 3 terms, got %d", len(toks))
+	}
+	s0, err := parseTerm(toks[0])
+	if err != nil {
+		return Triple{}, false, err
+	}
+	p, err := parseTerm(toks[1])
+	if err != nil {
+		return Triple{}, false, err
+	}
+	o, err := parseTerm(toks[2])
+	if err != nil {
+		return Triple{}, false, err
+	}
+	t = Triple{S: s0, P: p, O: o}
+	if err := t.Validate(); err != nil {
+		return Triple{}, false, err
+	}
+	return t, true, nil
+}
+
+// tokenize splits a line into term tokens, honoring <...>, "..." with escapes,
+// and '#' comments outside of quoted strings.
+func tokenize(s string) ([]string, error) {
+	var toks []string
+	i, n := 0, len(s)
+	for i < n {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			return toks, nil
+		case c == '<':
+			j := strings.IndexByte(s[i:], '>')
+			if j < 0 {
+				return nil, fmt.Errorf("unterminated IRI %q", s[i:])
+			}
+			toks = append(toks, s[i:i+j+1])
+			i += j + 1
+		case c == '"':
+			j := i + 1
+			for j < n {
+				if s[j] == '\\' {
+					j += 2
+					continue
+				}
+				if s[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("unterminated literal %q", s[i:])
+			}
+			// Swallow a datatype/lang suffix (^^<...> or @tag) verbatim.
+			k := j + 1
+			if k < n && s[k] == '^' {
+				for k < n && s[k] != ' ' && s[k] != '\t' {
+					k++
+				}
+			} else if k < n && s[k] == '@' {
+				for k < n && s[k] != ' ' && s[k] != '\t' {
+					k++
+				}
+			}
+			toks = append(toks, s[i:k])
+			i = k
+		default:
+			j := i
+			for j < n && s[j] != ' ' && s[j] != '\t' && s[j] != '\r' && s[j] != '#' {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func parseTerm(tok string) (Term, error) {
+	switch {
+	case strings.HasPrefix(tok, "<") && strings.HasSuffix(tok, ">"):
+		v := tok[1 : len(tok)-1]
+		if v == "" {
+			return Term{}, fmt.Errorf("empty IRI")
+		}
+		return NewIRI(v), nil
+	case strings.HasPrefix(tok, "\""):
+		end := len(tok)
+		// Strip datatype/lang suffix.
+		if i := strings.LastIndex(tok, "\"^^"); i > 0 {
+			end = i + 1
+		} else if i := strings.LastIndex(tok, "\"@"); i > 0 {
+			end = i + 1
+		}
+		if end < 2 || tok[end-1] != '"' {
+			return Term{}, fmt.Errorf("malformed literal %q", tok)
+		}
+		body := tok[1 : end-1]
+		body = strings.ReplaceAll(body, `\"`, `"`)
+		body = strings.ReplaceAll(body, `\\`, `\`)
+		return NewLiteral(body), nil
+	case strings.HasPrefix(tok, "_:"):
+		if len(tok) == 2 {
+			return Term{}, fmt.Errorf("empty blank node label")
+		}
+		return NewBlank(tok[2:]), nil
+	case tok == ".":
+		return Term{}, fmt.Errorf("unexpected '.'")
+	default:
+		return NewIRI(ExpandIRI(tok)), nil
+	}
+}
+
+// Write serializes the graph in N-Triples syntax, one triple per line.
+func Write(w io.Writer, g Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,281 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StatementKind identifies one of the four semantic relationships expressible
+// in an RDF Schema (Table 1 of the paper).
+type StatementKind uint8
+
+const (
+	// SubClass is (c1, rdfs:subClassOf, c2): ∀X c1(X) ⇒ c2(X).
+	SubClass StatementKind = iota
+	// SubProperty is (p1, rdfs:subPropertyOf, p2): ∀X∀Y p1(X,Y) ⇒ p2(X,Y).
+	SubProperty
+	// Domain is (p, rdfs:domain, c): ∀X∀Y p(X,Y) ⇒ c(X).
+	Domain
+	// Range is (p, rdfs:range, c): ∀X∀Y p(X,Y) ⇒ c(Y).
+	Range
+)
+
+func (k StatementKind) String() string {
+	switch k {
+	case SubClass:
+		return "rdfs:subClassOf"
+	case SubProperty:
+		return "rdfs:subPropertyOf"
+	case Domain:
+		return "rdfs:domain"
+	case Range:
+		return "rdfs:range"
+	}
+	return fmt.Sprintf("StatementKind(%d)", uint8(k))
+}
+
+// Statement is one RDFS statement. For SubClass, Left and Right are classes;
+// for SubProperty, properties; for Domain/Range, Left is a property and Right
+// a class.
+type Statement struct {
+	Kind        StatementKind
+	Left, Right string
+}
+
+func (s Statement) String() string {
+	return fmt.Sprintf("%s %s %s", s.Left, s.Kind, s.Right)
+}
+
+// Triple renders the statement as an RDF triple.
+func (s Statement) Triple() Triple {
+	var p string
+	switch s.Kind {
+	case SubClass:
+		p = RDFSSubClassOf
+	case SubProperty:
+		p = RDFSSubPropertyOf
+	case Domain:
+		p = RDFSDomain
+	default:
+		p = RDFSRange
+	}
+	return T(s.Left, p, s.Right)
+}
+
+// Schema is an RDF Schema: a set of statements of the four kinds of Table 1.
+// The zero value is an empty schema ready to use.
+type Schema struct {
+	statements []Statement
+	seen       map[Statement]struct{}
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{seen: make(map[Statement]struct{})}
+}
+
+// Add inserts a statement, ignoring exact duplicates.
+func (s *Schema) Add(st Statement) {
+	if s.seen == nil {
+		s.seen = make(map[Statement]struct{})
+	}
+	if _, ok := s.seen[st]; ok {
+		return
+	}
+	s.seen[st] = struct{}{}
+	s.statements = append(s.statements, st)
+}
+
+// AddSubClass adds (c1 rdfs:subClassOf c2).
+func (s *Schema) AddSubClass(c1, c2 string) { s.Add(Statement{SubClass, c1, c2}) }
+
+// AddSubProperty adds (p1 rdfs:subPropertyOf p2).
+func (s *Schema) AddSubProperty(p1, p2 string) { s.Add(Statement{SubProperty, p1, p2}) }
+
+// AddDomain adds (p rdfs:domain c).
+func (s *Schema) AddDomain(p, c string) { s.Add(Statement{Domain, p, c}) }
+
+// AddRange adds (p rdfs:range c).
+func (s *Schema) AddRange(p, c string) { s.Add(Statement{Range, p, c}) }
+
+// Statements returns the statements in insertion order. The returned slice
+// must not be modified.
+func (s *Schema) Statements() []Statement { return s.statements }
+
+// Len returns the number of statements |S|, the measure used in the
+// termination bound of Theorem 4.1.
+func (s *Schema) Len() int { return len(s.statements) }
+
+// Contains reports whether the exact statement is present.
+func (s *Schema) Contains(st Statement) bool {
+	_, ok := s.seen[st]
+	return ok
+}
+
+// Classes returns, sorted, every class name mentioned in the schema: both
+// sides of subClassOf statements and the targets of domain/range statements.
+// This is the class list used by reformulation rule (5).
+func (s *Schema) Classes() []string {
+	set := make(map[string]struct{})
+	for _, st := range s.statements {
+		switch st.Kind {
+		case SubClass:
+			set[st.Left] = struct{}{}
+			set[st.Right] = struct{}{}
+		case Domain, Range:
+			set[st.Right] = struct{}{}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Properties returns, sorted, every property name mentioned in the schema:
+// both sides of subPropertyOf statements and the subjects of domain/range
+// statements. This is the property list used by reformulation rule (6).
+func (s *Schema) Properties() []string {
+	set := make(map[string]struct{})
+	for _, st := range s.statements {
+		switch st.Kind {
+		case SubProperty:
+			set[st.Left] = struct{}{}
+			set[st.Right] = struct{}{}
+		case Domain, Range:
+			set[st.Left] = struct{}{}
+		}
+	}
+	return sortedKeys(set)
+}
+
+func sortedKeys(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SchemaFromGraph extracts the RDFS statements from a graph, ignoring
+// non-schema triples. Schema terms must be IRIs; statements involving blank
+// nodes or literals are rejected.
+func SchemaFromGraph(g Graph) (*Schema, error) {
+	s := NewSchema()
+	for _, t := range g {
+		if !IsSchemaProperty(t.P.Value) {
+			continue
+		}
+		if !t.S.IsIRI() || !t.O.IsIRI() {
+			return nil, fmt.Errorf("rdf: schema statement %v must relate IRIs", t)
+		}
+		switch t.P.Value {
+		case RDFSSubClassOf:
+			s.AddSubClass(t.S.Value, t.O.Value)
+		case RDFSSubPropertyOf:
+			s.AddSubProperty(t.S.Value, t.O.Value)
+		case RDFSDomain:
+			s.AddDomain(t.S.Value, t.O.Value)
+		case RDFSRange:
+			s.AddRange(t.S.Value, t.O.Value)
+		}
+	}
+	return s, nil
+}
+
+// Graph renders the schema as RDF triples.
+func (s *Schema) Graph() Graph {
+	g := make(Graph, 0, len(s.statements))
+	for _, st := range s.statements {
+		g = append(g, st.Triple())
+	}
+	return g
+}
+
+// Closure returns a new schema closed under the RDFS schema-level entailment
+// rules: transitivity of subClassOf and subPropertyOf, and inheritance of
+// domain and range along subPropertyOf (if p1 ⊑ p2 and domain(p2)=c then
+// domain(p1)=c, and likewise for range). Domain/range classes are propagated
+// up the class hierarchy as well (if domain(p)=c and c ⊑ c' then
+// domain(p)=c'), mirroring the implicit-triple examples of Section 4.1.
+func (s *Schema) Closure() *Schema {
+	out := NewSchema()
+	for _, st := range s.statements {
+		out.Add(st)
+	}
+	for changed := true; changed; {
+		changed = false
+		sts := out.Statements()
+		for i := 0; i < len(sts); i++ {
+			a := sts[i]
+			for j := 0; j < len(sts); j++ {
+				b := sts[j]
+				var derived []Statement
+				switch {
+				case a.Kind == SubClass && b.Kind == SubClass && a.Right == b.Left:
+					derived = append(derived, Statement{SubClass, a.Left, b.Right})
+				case a.Kind == SubProperty && b.Kind == SubProperty && a.Right == b.Left:
+					derived = append(derived, Statement{SubProperty, a.Left, b.Right})
+				case a.Kind == SubProperty && b.Kind == Domain && a.Right == b.Left:
+					derived = append(derived, Statement{Domain, a.Left, b.Right})
+				case a.Kind == SubProperty && b.Kind == Range && a.Right == b.Left:
+					derived = append(derived, Statement{Range, a.Left, b.Right})
+				case a.Kind == Domain && b.Kind == SubClass && a.Right == b.Left:
+					derived = append(derived, Statement{Domain, a.Left, b.Right})
+				case a.Kind == Range && b.Kind == SubClass && a.Right == b.Left:
+					derived = append(derived, Statement{Range, a.Left, b.Right})
+				}
+				for _, d := range derived {
+					if !out.Contains(d) {
+						out.Add(d)
+						changed = true
+					}
+				}
+			}
+			sts = out.Statements()
+		}
+	}
+	return out
+}
+
+// SubClassesOf returns the direct subclasses of c (c1 such that c1 ⊑ c ∈ S).
+func (s *Schema) SubClassesOf(c string) []string {
+	var out []string
+	for _, st := range s.statements {
+		if st.Kind == SubClass && st.Right == c {
+			out = append(out, st.Left)
+		}
+	}
+	return out
+}
+
+// SubPropertiesOf returns the direct subproperties of p.
+func (s *Schema) SubPropertiesOf(p string) []string {
+	var out []string
+	for _, st := range s.statements {
+		if st.Kind == SubProperty && st.Right == p {
+			out = append(out, st.Left)
+		}
+	}
+	return out
+}
+
+// PropertiesWithDomain returns the properties p with domain(p) = c.
+func (s *Schema) PropertiesWithDomain(c string) []string {
+	var out []string
+	for _, st := range s.statements {
+		if st.Kind == Domain && st.Right == c {
+			out = append(out, st.Left)
+		}
+	}
+	return out
+}
+
+// PropertiesWithRange returns the properties p with range(p) = c.
+func (s *Schema) PropertiesWithRange(c string) []string {
+	var out []string
+	for _, st := range s.statements {
+		if st.Kind == Range && st.Right == c {
+			out = append(out, st.Left)
+		}
+	}
+	return out
+}

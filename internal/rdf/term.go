@@ -1,0 +1,115 @@
+// Package rdf implements the RDF data model used throughout the library:
+// terms (IRIs, literals, blank nodes), well-formed triples, a line-oriented
+// N-Triples-style parser and serializer, and RDF Schema statements (the four
+// semantic relationships of Table 1 in the paper).
+//
+// The package is deliberately independent from storage concerns: triples here
+// carry string terms; the dictionary-encoded form used by the store lives in
+// internal/dict and internal/store.
+package rdf
+
+import "fmt"
+
+// TermKind distinguishes the three kinds of RDF terms.
+type TermKind uint8
+
+const (
+	// IRI is a resource identifier. The library does not insist on absolute
+	// IRIs: bare tokens such as "hasPainted" are accepted and treated as
+	// IRIs, which keeps examples and tests close to the paper's notation.
+	IRI TermKind = iota
+	// Literal is a literal value (string, number, ...) kept as its lexical
+	// form. Datatypes and language tags are preserved verbatim inside the
+	// lexical form; the view-selection machinery never needs to inspect them.
+	Literal
+	// Blank is a blank node. Blank nodes are placeholders for unknown
+	// constants; from the database perspective they behave like existential
+	// variables in the data (Section 2 of the paper).
+	Blank
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case IRI:
+		return "iri"
+	case Literal:
+		return "literal"
+	case Blank:
+		return "blank"
+	}
+	return fmt.Sprintf("TermKind(%d)", uint8(k))
+}
+
+// Term is one RDF term: an IRI, a literal, or a blank node.
+//
+// The zero Term is an IRI with an empty value and is not well-formed; use the
+// constructors below.
+type Term struct {
+	Kind  TermKind
+	Value string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(v string) Term { return Term{Kind: IRI, Value: v} }
+
+// NewLiteral returns a literal term with the given lexical form.
+func NewLiteral(v string) Term { return Term{Kind: Literal, Value: v} }
+
+// NewBlank returns a blank node with the given label (without the "_:"
+// prefix).
+func NewBlank(label string) Term { return Term{Kind: Blank, Value: label} }
+
+// IsIRI reports whether t is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRI }
+
+// IsLiteral reports whether t is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == Literal }
+
+// IsBlank reports whether t is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == Blank }
+
+// String renders the term in N-Triples-style syntax: <iri>, "literal", _:b.
+// IRIs that look like bare tokens are still rendered in angle brackets so the
+// output round-trips through Parse.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Literal:
+		return fmt.Sprintf("%q", t.Value)
+	case Blank:
+		return "_:" + t.Value
+	}
+	return "?!invalid"
+}
+
+// Key returns a string that uniquely identifies the term across kinds, for
+// use as a map key and as the dictionary-encoding key. Distinct terms always
+// have distinct keys ("i<v>", "l<v>", "b<v>").
+func (t Term) Key() string {
+	switch t.Kind {
+	case IRI:
+		return "i" + t.Value
+	case Literal:
+		return "l" + t.Value
+	default:
+		return "b" + t.Value
+	}
+}
+
+// TermFromKey is the inverse of Term.Key.
+func TermFromKey(k string) (Term, error) {
+	if k == "" {
+		return Term{}, fmt.Errorf("rdf: empty term key")
+	}
+	v := k[1:]
+	switch k[0] {
+	case 'i':
+		return NewIRI(v), nil
+	case 'l':
+		return NewLiteral(v), nil
+	case 'b':
+		return NewBlank(v), nil
+	}
+	return Term{}, fmt.Errorf("rdf: malformed term key %q", k)
+}

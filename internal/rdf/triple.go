@@ -1,0 +1,78 @@
+package rdf
+
+import "fmt"
+
+// Triple is one RDF statement (s, p, o).
+type Triple struct {
+	S, P, O Term
+}
+
+// NewTriple builds a triple from three terms.
+func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// T is a convenience constructor building a triple of three IRIs from bare
+// token strings, matching the paper's notation t(X, hasPainted, starryNight).
+func T(s, p, o string) Triple {
+	return Triple{S: NewIRI(s), P: NewIRI(p), O: NewIRI(o)}
+}
+
+// WellFormed reports whether the triple satisfies the RDF well-formedness
+// conditions of Section 2: subjects are IRIs or blank nodes, properties are
+// IRIs, objects are IRIs, blank nodes, or literals.
+func (t Triple) WellFormed() bool {
+	if t.S.Kind == Literal {
+		return false
+	}
+	if t.P.Kind != IRI {
+		return false
+	}
+	return t.S.Value != "" && t.P.Value != ""
+}
+
+// Validate returns a descriptive error when the triple is not well-formed.
+func (t Triple) Validate() error {
+	if t.S.Kind == Literal {
+		return fmt.Errorf("rdf: subject of %v is a literal", t)
+	}
+	if t.P.Kind != IRI {
+		return fmt.Errorf("rdf: property of %v is not an IRI", t)
+	}
+	if t.S.Value == "" || t.P.Value == "" {
+		return fmt.Errorf("rdf: empty subject or property in %v", t)
+	}
+	return nil
+}
+
+// String renders the triple in N-Triples syntax (with trailing dot).
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
+}
+
+// Graph is a set of triples in insertion order. Duplicates may be present;
+// Dedup removes them.
+type Graph []Triple
+
+// Dedup returns the graph with duplicate triples removed, preserving the
+// first occurrence order.
+func (g Graph) Dedup() Graph {
+	seen := make(map[Triple]struct{}, len(g))
+	out := make(Graph, 0, len(g))
+	for _, t := range g {
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Contains reports whether the graph contains the exact triple.
+func (g Graph) Contains(t Triple) bool {
+	for _, x := range g {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,44 @@
+package reason
+
+import (
+	"testing"
+
+	"rdfviews/internal/cq"
+	"rdfviews/internal/datagen"
+	"rdfviews/internal/store"
+)
+
+func BenchmarkSaturateBartonLike(b *testing.B) {
+	st, sch := datagen.Generate(datagen.Config{Triples: 20000, Seed: 1})
+	schema := NewSchema(sch, st.Dict())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sat := Saturate(st, schema)
+		if sat.Len() < st.Len() {
+			b.Fatal("saturation shrank the store")
+		}
+	}
+}
+
+func BenchmarkReformulateTypeQuery(b *testing.B) {
+	st, sch := datagen.Generate(datagen.Config{Triples: 1000, Seed: 1})
+	schema := NewSchema(sch, st.Dict())
+	p := cq.NewParser(st.Dict())
+	q := p.MustParseQuery(
+		"q(X) :- t(X, rdf:type, " + datagen.ClassName(0) + "), t(X, " + datagen.PropName(0) + ", Y)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reformulate(q, schema, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchemaEncoding(b *testing.B) {
+	sch := datagen.GenerateSchema(datagen.Config{})
+	st := store.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewSchema(sch, st.Dict())
+	}
+}

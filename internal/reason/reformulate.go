@@ -1,0 +1,153 @@
+package reason
+
+import (
+	"fmt"
+
+	"rdfviews/internal/cq"
+)
+
+// DefaultMaxUnionTerms bounds the size of reformulations. Theorem 4.1 bounds
+// the output by (2|S|²)^m union terms, which is astronomically large for
+// variable-property queries over sizeable schemas; the limit turns that
+// blow-up into a clean error instead of an out-of-memory condition.
+const DefaultMaxUnionTerms = 200000
+
+// ErrTooManyUnionTerms is returned (wrapped) when a reformulation exceeds
+// the configured union-term limit.
+var ErrTooManyUnionTerms = fmt.Errorf("reason: reformulation exceeds the union-term limit")
+
+// Reformulate implements Algorithm 1 of the paper: it rewrites the
+// conjunctive query q into a union of conjunctive queries ucq such that, for
+// any database D associated with schema S,
+//
+//	evaluate(q, saturate(D, S)) = evaluate(ucq, D)
+//
+// (Theorem 4.2). The six rules of Figure 2 are applied backward on query
+// atoms to a fixpoint; union terms are deduplicated up to variable renaming,
+// which also guarantees termination (Theorem 4.1).
+//
+// maxTerms ≤ 0 selects DefaultMaxUnionTerms.
+func Reformulate(q *cq.Query, s *Schema, maxTerms int) (*cq.UCQ, error) {
+	if maxTerms <= 0 {
+		maxTerms = DefaultMaxUnionTerms
+	}
+	// Fresh variables for rules 3 and 4 (∃X t(s,p,X) / ∃X t(X,p,o)).
+	nextVar := q.MaxVarNum()
+	freshVar := func() cq.Term {
+		nextVar++
+		return cq.Var(nextVar)
+	}
+
+	ucq := cq.NewUCQ(q)
+	queue := []*cq.Query{q}
+	emit := func(nq *cq.Query) error {
+		if ucq.Add(nq) {
+			if ucq.Len() > maxTerms {
+				return fmt.Errorf("%w: more than %d terms for query with %d atoms and |S|=%d",
+					ErrTooManyUnionTerms, maxTerms, len(q.Atoms), s.Len())
+			}
+			queue = append(queue, nq)
+		}
+		return nil
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for gi, g := range cur.Atoms {
+			// Rule 1: t(s, rdf:type, c2) ⇐ t(s, rdf:type, c1), c1 ⊑ c2 ∈ S.
+			if subj, c2, ok := s.typeAtomClass(g); ok {
+				for _, c1 := range s.subClassesOf[c2] {
+					nq := cur.ReplaceAtom(gi, cq.Atom{subj, cq.Const(s.TypeID), cq.Const(c1)})
+					if err := emit(nq); err != nil {
+						return nil, err
+					}
+				}
+				// Rule 3: t(s, rdf:type, c) ⇐ ∃X t(s, p, X), p domain c ∈ S.
+				for _, p := range s.domainProps[c2] {
+					nq := cur.ReplaceAtom(gi, cq.Atom{subj, cq.Const(p), freshVar()})
+					if err := emit(nq); err != nil {
+						return nil, err
+					}
+				}
+				// Rule 4: t(o, rdf:type, c) ⇐ ∃X t(X, p, o), p range c ∈ S.
+				for _, p := range s.rangeProps[c2] {
+					nq := cur.ReplaceAtom(gi, cq.Atom{freshVar(), cq.Const(p), subj})
+					if err := emit(nq); err != nil {
+						return nil, err
+					}
+				}
+			}
+			// Rule 2: t(s, p2, o) ⇐ t(s, p1, o), p1 ⊑ p2 ∈ S.
+			if g[1].IsConst() {
+				for _, p1 := range s.subPropsOf[g[1].ConstID()] {
+					nq := cur.ReplaceAtom(gi, cq.Atom{g[0], cq.Const(p1), g[2]})
+					if err := emit(nq); err != nil {
+						return nil, err
+					}
+				}
+			}
+			// Rule 5: t(s, rdf:type, X) with X a variable: bind X to every
+			// class of S throughout the query.
+			if g[1].IsConst() && g[1].ConstID() == s.TypeID && g[2].IsVar() {
+				for _, c := range s.Classes {
+					if err := emit(cur.Substitute(g[2], cq.Const(c))); err != nil {
+						return nil, err
+					}
+				}
+			}
+			// Rule 6: t(s, X, o) with X a variable in property position:
+			// bind X to every property of S, and to rdf:type.
+			if g[1].IsVar() {
+				for _, p := range s.Properties {
+					if err := emit(cur.Substitute(g[1], cq.Const(p))); err != nil {
+						return nil, err
+					}
+				}
+				if err := emit(cur.Substitute(g[1], cq.Const(s.TypeID))); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return ucq, nil
+}
+
+// MustReformulate is Reformulate panicking on error (tests/examples).
+func MustReformulate(q *cq.Query, s *Schema) *cq.UCQ {
+	u, err := Reformulate(q, s, 0)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// ReformulateUCQ reformulates every member of a union and merges the results
+// (used when reformulating views that are already unions).
+func ReformulateUCQ(u *cq.UCQ, s *Schema, maxTerms int) (*cq.UCQ, error) {
+	out := cq.NewUCQ()
+	for _, q := range u.Queries {
+		r, err := Reformulate(q, s, maxTerms)
+		if err != nil {
+			return nil, err
+		}
+		for _, rq := range r.Queries {
+			out.Add(rq)
+		}
+	}
+	return out, nil
+}
+
+// TerminationBound returns the (2|S|²)^m bound of Theorem 4.1 on the number
+// of union terms, as a float64 to avoid overflow for large m.
+func TerminationBound(s *Schema, atoms int) float64 {
+	b := 1.0
+	base := 2.0 * float64(s.Len()) * float64(s.Len())
+	if base < 1 {
+		base = 1
+	}
+	for i := 0; i < atoms; i++ {
+		b *= base
+	}
+	return b
+}

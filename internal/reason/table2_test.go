@@ -1,0 +1,76 @@
+package reason
+
+import (
+	"testing"
+
+	"rdfviews/internal/cq"
+	"rdfviews/internal/dict"
+	"rdfviews/internal/rdf"
+)
+
+// TestPaperTable2 reproduces Table 2 of the paper exactly: the term
+// reformulations of q1 and q4 for the schema
+//
+//	S = { painting rdfs:subClassOf picture,
+//	      isExpIn rdfs:subPropertyOf isLocatIn }
+func TestPaperTable2(t *testing.T) {
+	d := dict.New()
+	sch := rdf.NewSchema()
+	sch.AddSubClass("painting", "picture")
+	sch.AddSubProperty("isExpIn", "isLocatIn")
+	s := NewSchema(sch, d)
+	p := cq.NewParser(d)
+
+	typeC := cq.Const(s.TypeID)
+	picture := cq.Const(d.EncodeIRI("picture"))
+	painting := cq.Const(d.EncodeIRI("painting"))
+	isLocatIn := cq.Const(d.EncodeIRI("isLocatIn"))
+	isExpIn := cq.Const(d.EncodeIRI("isExpIn"))
+
+	t.Run("q1", func(t *testing.T) {
+		q1 := p.MustParseQuery("q(X1) :- t(X1, rdf:type, picture)")
+		u := MustReformulate(q1, s)
+		x1 := q1.Head[0]
+		want := []*cq.Query{
+			// (1) q1(X1) :- t(X1, rdf:type, picture)
+			{Head: []cq.Term{x1}, Atoms: []cq.Atom{{x1, typeC, picture}}},
+			// (2) q1(X1) :- t(X1, rdf:type, painting)
+			{Head: []cq.Term{x1}, Atoms: []cq.Atom{{x1, typeC, painting}}},
+		}
+		assertUnionExactly(t, u, want, d)
+	})
+
+	t.Run("q4", func(t *testing.T) {
+		p.ResetNames()
+		q4 := p.MustParseQuery("q(X1, X2) :- t(X1, X2, picture)")
+		x1, x2 := q4.Head[0], q4.Head[1]
+		u := MustReformulate(q4, s)
+		want := []*cq.Query{
+			// (1) q4(X1, X2) :- t(X1, X2, picture)
+			{Head: []cq.Term{x1, x2}, Atoms: []cq.Atom{{x1, x2, picture}}},
+			// (2) q4(X1, isLocatIn) :- t(X1, isLocatIn, picture)
+			{Head: []cq.Term{x1, isLocatIn}, Atoms: []cq.Atom{{x1, isLocatIn, picture}}},
+			// (3) q4(X1, isExpIn) :- t(X1, isExpIn, picture)
+			{Head: []cq.Term{x1, isExpIn}, Atoms: []cq.Atom{{x1, isExpIn, picture}}},
+			// (4) q4(X1, rdf:type) :- t(X1, rdf:type, picture)
+			{Head: []cq.Term{x1, typeC}, Atoms: []cq.Atom{{x1, typeC, picture}}},
+			// (5) q4(X1, isLocatIn) :- t(X1, isExpIn, picture)
+			{Head: []cq.Term{x1, isLocatIn}, Atoms: []cq.Atom{{x1, isExpIn, picture}}},
+			// (6) q4(X1, rdf:type) :- t(X1, rdf:type, painting)
+			{Head: []cq.Term{x1, typeC}, Atoms: []cq.Atom{{x1, typeC, painting}}},
+		}
+		assertUnionExactly(t, u, want, d)
+	})
+}
+
+func assertUnionExactly(t *testing.T, got *cq.UCQ, want []*cq.Query, d *dict.Dictionary) {
+	t.Helper()
+	if got.Len() != len(want) {
+		t.Fatalf("union has %d terms, want %d:\n%s", got.Len(), len(want), got.Format(d))
+	}
+	for _, w := range want {
+		if !got.Contains(w) {
+			t.Errorf("missing union term %s in:\n%s", w.Format(d), got.Format(d))
+		}
+	}
+}

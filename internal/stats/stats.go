@@ -1,0 +1,206 @@
+// Package stats implements the statistics providers of Sections 3.3 and 4.3:
+//
+//   - StoreStats answers exact pattern counts from the (possibly saturated)
+//     triple store — the "database saturation" scenario;
+//   - ReformulatedStats answers the counts a saturated database would give,
+//     computed on the non-saturated store by reformulating each view atom
+//     (the post-reformulation scenario: "replacing |vi| in our cost formulas
+//     with |Reformulate(vi, S)| ... results in having the same statistics as
+//     if the database was saturated").
+package stats
+
+import (
+	"fmt"
+	"sync"
+
+	"rdfviews/internal/cq"
+	"rdfviews/internal/engine"
+	"rdfviews/internal/reason"
+	"rdfviews/internal/store"
+)
+
+// StoreStats serves statistics straight from a store. It caches pattern
+// counts; the store must not be modified while the provider is in use.
+type StoreStats struct {
+	st *store.Store
+
+	mu    sync.Mutex
+	cache map[store.Pattern]float64
+}
+
+// NewStoreStats returns a provider over the store. The store's indexes and
+// column statistics are built eagerly, so that subsequent reads — possibly
+// from several search goroutines — never mutate the store.
+func NewStoreStats(st *store.Store) *StoreStats {
+	warmStore(st)
+	return &StoreStats{st: st, cache: make(map[store.Pattern]float64)}
+}
+
+// warmStore forces index construction and column statistics so the store is
+// read-only afterwards.
+func warmStore(st *store.Store) {
+	st.Count(store.Pattern{})
+	for col := 0; col < 3; col++ {
+		st.DistinctCount(col)
+	}
+}
+
+// Store exposes the underlying store.
+func (s *StoreStats) Store() *store.Store { return s.st }
+
+// AtomCount implements cost.Stats with exact index counts.
+func (s *StoreStats) AtomCount(a cq.Atom) float64 {
+	pat := PatternOf(a)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.cache[pat]; ok {
+		return c
+	}
+	c := float64(s.st.Count(pat))
+	s.cache[pat] = c
+	return c
+}
+
+// TotalTriples implements cost.Stats.
+func (s *StoreStats) TotalTriples() float64 { return float64(s.st.Len()) }
+
+// DistinctCount implements cost.Stats.
+func (s *StoreStats) DistinctCount(col int) float64 {
+	return float64(s.st.DistinctCount(col))
+}
+
+// AvgWidth implements cost.Stats.
+func (s *StoreStats) AvgWidth(col int) float64 { return s.st.AvgWidth(col) }
+
+// PatternOf converts an atom into a store pattern: constants stay, variables
+// become wildcards.
+func PatternOf(a cq.Atom) store.Pattern {
+	var pat store.Pattern
+	for i := 0; i < 3; i++ {
+		if a[i].IsConst() {
+			pat[i] = a[i].ConstID()
+		}
+	}
+	return pat
+}
+
+// ReformulatedStats serves the statistics of the post-reformulation scenario
+// (Section 4.3): per-atom counts are the sizes of the atom's reformulation
+// evaluated on the original store, and the global statistics (total size,
+// distinct counts) are computed the same way from fully relaxed atoms. The
+// provider is equivalent to StoreStats over the saturated store without ever
+// materializing the saturation (property-tested in stats_test.go).
+type ReformulatedStats struct {
+	st     *store.Store
+	schema *reason.Schema
+
+	mu       sync.Mutex
+	cache    map[string]float64
+	prepOnce sync.Once
+	distinct [3]float64
+	total    float64
+}
+
+// NewReformulatedStats returns a provider over the non-saturated store.
+func NewReformulatedStats(st *store.Store, schema *reason.Schema) *ReformulatedStats {
+	warmStore(st)
+	return &ReformulatedStats{st: st, schema: schema, cache: make(map[string]float64)}
+}
+
+// Store exposes the underlying (non-saturated) store.
+func (s *ReformulatedStats) Store() *store.Store { return s.st }
+
+// atomQuery builds the one-atom query vi of Section 3.3: body = the atom,
+// head = the distinct variables of the atom.
+func atomQuery(a cq.Atom) *cq.Query {
+	head := a.Vars()
+	if len(head) == 0 {
+		// Fully bound atom: boolean query; count is 0 or 1.
+		head = nil
+	}
+	return &cq.Query{Head: head, Atoms: []cq.Atom{a}}
+}
+
+// AtomCount implements cost.Stats: |Reformulate(vi, S)| evaluated with set
+// semantics on the original store.
+func (s *ReformulatedStats) AtomCount(a cq.Atom) float64 {
+	key := cacheKey(a)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.cache[key]; ok {
+		return c
+	}
+	q := atomQuery(a)
+	u, err := reason.Reformulate(q, s.schema, 0)
+	if err != nil {
+		// Fall back to the plain count; the limit only trips on adversarial
+		// schemas, and an under-estimate is preferable to failing the search.
+		c := float64(s.st.Count(PatternOf(a)))
+		s.cache[key] = c
+		return c
+	}
+	n, err := engine.CountUCQ(s.st, u)
+	if err != nil {
+		n = s.st.Count(PatternOf(a))
+	}
+	c := float64(n)
+	s.cache[key] = c
+	return c
+}
+
+func cacheKey(a cq.Atom) string {
+	// Variables are interchangeable for counting; normalize by position.
+	norm := func(t cq.Term, i int) int64 {
+		if t.IsVar() {
+			// Repeated variables within the atom must keep their identity.
+			for j := 0; j < i; j++ {
+				if a[j] == t {
+					return int64(-(j + 1))
+				}
+			}
+			return int64(-(i + 1))
+		}
+		return int64(t)
+	}
+	return fmt.Sprintf("%d|%d|%d", norm(a[0], 0), norm(a[1], 1), norm(a[2], 2))
+}
+
+// prepare computes the saturated-equivalent global statistics from fully
+// relaxed atoms, exactly as Section 3.3 relaxes query atoms. sync.Once makes
+// the computed fields safe to read from concurrent searchers.
+func (s *ReformulatedStats) prepare() {
+	s.prepOnce.Do(func() {
+		x, y, z := cq.Var(1000000001), cq.Var(1000000002), cq.Var(1000000003)
+		full := cq.Atom{x, y, z}
+		s.total = s.AtomCount(full)
+		for col, v := range []cq.Term{x, y, z} {
+			q := &cq.Query{Head: []cq.Term{v}, Atoms: []cq.Atom{full}}
+			u, err := reason.Reformulate(q, s.schema, 0)
+			if err != nil {
+				s.distinct[col] = float64(s.st.DistinctCount(col))
+				continue
+			}
+			n, err := engine.CountUCQ(s.st, u)
+			if err != nil {
+				n = s.st.DistinctCount(col)
+			}
+			s.distinct[col] = float64(n)
+		}
+	})
+}
+
+// TotalTriples implements cost.Stats: the saturated database size.
+func (s *ReformulatedStats) TotalTriples() float64 {
+	s.prepare()
+	return s.total
+}
+
+// DistinctCount implements cost.Stats over the saturated extension.
+func (s *ReformulatedStats) DistinctCount(col int) float64 {
+	s.prepare()
+	return s.distinct[col]
+}
+
+// AvgWidth implements cost.Stats; widths are taken from the base store
+// (saturation adds no new lexical values beyond schema terms).
+func (s *ReformulatedStats) AvgWidth(col int) float64 { return s.st.AvgWidth(col) }

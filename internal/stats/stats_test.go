@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"rdfviews/internal/cq"
+	"rdfviews/internal/rdf"
+	"rdfviews/internal/reason"
+	"rdfviews/internal/store"
+)
+
+func museumStore(t testing.TB) (*store.Store, *reason.Schema) {
+	t.Helper()
+	st := store.New()
+	st.MustAddGraph(rdf.MustParse(`
+m1 rdf:type painting .
+m2 rdf:type painting .
+m3 rdf:type picture .
+m1 isExpIn louvre .
+m2 isLocatIn orsay .
+m4 isExpIn prado .
+`))
+	sch := rdf.NewSchema()
+	sch.AddSubClass("painting", "picture")
+	sch.AddSubProperty("isExpIn", "isLocatIn")
+	return st, reason.NewSchema(sch, st.Dict())
+}
+
+func TestStoreStatsBasics(t *testing.T) {
+	st, _ := museumStore(t)
+	s := NewStoreStats(st)
+	typeID := st.Dict().EncodeIRI(rdf.RDFType)
+	painting := st.Dict().EncodeIRI("painting")
+	a := cq.Atom{cq.Var(1), cq.Const(typeID), cq.Const(painting)}
+	if got := s.AtomCount(a); got != 2 {
+		t.Errorf("AtomCount = %v, want 2", got)
+	}
+	// Cache hit path returns the same.
+	if got := s.AtomCount(a); got != 2 {
+		t.Errorf("cached AtomCount = %v", got)
+	}
+	if s.TotalTriples() != 6 {
+		t.Errorf("TotalTriples = %v", s.TotalTriples())
+	}
+	if s.DistinctCount(store.P) != 3 {
+		t.Errorf("DistinctCount(P) = %v", s.DistinctCount(store.P))
+	}
+	if s.AvgWidth(store.S) <= 0 {
+		t.Error("AvgWidth must be positive")
+	}
+	if s.Store() != st {
+		t.Error("Store accessor")
+	}
+}
+
+func TestPatternOf(t *testing.T) {
+	a := cq.Atom{cq.Var(1), cq.Const(7), cq.Var(2)}
+	pat := PatternOf(a)
+	if pat[0] != store.Wildcard || pat[1] != 7 || pat[2] != store.Wildcard {
+		t.Errorf("PatternOf = %v", pat)
+	}
+}
+
+// TestReformulatedStatsMatchSaturated is the key property of Section 4.3:
+// the reformulated statistics must equal the plain statistics gathered on the
+// saturated database.
+func TestReformulatedStatsMatchSaturated(t *testing.T) {
+	st, schema := museumStore(t)
+	sat := reason.Saturate(st, schema)
+	satStats := NewStoreStats(sat)
+	refStats := NewReformulatedStats(st, schema)
+
+	d := st.Dict()
+	typeID := d.EncodeIRI(rdf.RDFType)
+	x, y := cq.Var(1), cq.Var(2)
+	atoms := []cq.Atom{
+		{x, cq.Const(typeID), cq.Const(d.EncodeIRI("picture"))},
+		{x, cq.Const(typeID), cq.Const(d.EncodeIRI("painting"))},
+		{x, cq.Const(d.EncodeIRI("isLocatIn")), y},
+		{x, cq.Const(d.EncodeIRI("isExpIn")), y},
+		{x, cq.Const(typeID), y},
+		{x, y, cq.Const(d.EncodeIRI("louvre"))},
+		{x, y, cq.Var(3)},
+	}
+	for _, a := range atoms {
+		want := satStats.AtomCount(a)
+		got := refStats.AtomCount(a)
+		if got != want {
+			t.Errorf("atom %v: reformulated %v, saturated %v", a, got, want)
+		}
+	}
+	if got, want := refStats.TotalTriples(), satStats.TotalTriples(); got != want {
+		t.Errorf("TotalTriples: %v vs %v", got, want)
+	}
+	for col := 0; col < 3; col++ {
+		if got, want := refStats.DistinctCount(col), satStats.DistinctCount(col); got != want {
+			t.Errorf("DistinctCount(%d): %v vs %v", col, got, want)
+		}
+	}
+}
+
+func TestReformulatedStatsRandomized(t *testing.T) {
+	// Same property on random data and schema.
+	rng := rand.New(rand.NewSource(4))
+	names := []string{"a", "b", "c", "d", "e"}
+	props := []string{"p1", "p2", "p3"}
+	classes := []string{"k1", "k2", "k3"}
+	for trial := 0; trial < 10; trial++ {
+		st := store.New()
+		d := st.Dict()
+		for i := 0; i < 25; i++ {
+			if rng.Intn(3) == 0 {
+				st.Add(store.Triple{
+					d.EncodeIRI(names[rng.Intn(len(names))]),
+					d.EncodeIRI(rdf.RDFType),
+					d.EncodeIRI(classes[rng.Intn(len(classes))]),
+				})
+				continue
+			}
+			st.Add(store.Triple{
+				d.EncodeIRI(names[rng.Intn(len(names))]),
+				d.EncodeIRI(props[rng.Intn(len(props))]),
+				d.EncodeIRI(names[rng.Intn(len(names))]),
+			})
+		}
+		sch := rdf.NewSchema()
+		sch.AddSubClass(classes[rng.Intn(3)], classes[rng.Intn(3)])
+		sch.AddSubProperty(props[rng.Intn(3)], props[rng.Intn(3)])
+		sch.AddDomain(props[rng.Intn(3)], classes[rng.Intn(3)])
+		sch.AddRange(props[rng.Intn(3)], classes[rng.Intn(3)])
+		schema := reason.NewSchema(sch, d)
+
+		sat := reason.Saturate(st, schema)
+		satStats := NewStoreStats(sat)
+		refStats := NewReformulatedStats(st, schema)
+		x, y := cq.Var(1), cq.Var(2)
+		atoms := []cq.Atom{
+			{x, cq.Const(d.EncodeIRI(rdf.RDFType)), cq.Const(d.EncodeIRI(classes[rng.Intn(3)]))},
+			{x, cq.Const(d.EncodeIRI(props[rng.Intn(3)])), y},
+			{x, cq.Const(d.EncodeIRI(rdf.RDFType)), y},
+		}
+		for _, a := range atoms {
+			if got, want := refStats.AtomCount(a), satStats.AtomCount(a); got != want {
+				t.Fatalf("trial %d atom %v: reformulated %v != saturated %v\nschema: %v",
+					trial, a, got, want, sch.Statements())
+			}
+		}
+		if got, want := refStats.TotalTriples(), satStats.TotalTriples(); got != want {
+			t.Fatalf("trial %d TotalTriples: %v vs %v", trial, got, want)
+		}
+	}
+}
+
+func TestReformulatedStatsCacheAndWidth(t *testing.T) {
+	st, schema := museumStore(t)
+	s := NewReformulatedStats(st, schema)
+	a := cq.Atom{cq.Var(5), cq.Const(st.Dict().EncodeIRI("isLocatIn")), cq.Var(6)}
+	first := s.AtomCount(a)
+	// Different variable numbers, same shape: must hit the cache/key logic.
+	b := cq.Atom{cq.Var(7), cq.Const(st.Dict().EncodeIRI("isLocatIn")), cq.Var(8)}
+	if got := s.AtomCount(b); got != first {
+		t.Errorf("cache key not shape-invariant: %v vs %v", got, first)
+	}
+	if s.AvgWidth(store.O) <= 0 {
+		t.Error("AvgWidth")
+	}
+	if s.Store() != st {
+		t.Error("Store accessor")
+	}
+}

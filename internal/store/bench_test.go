@@ -1,0 +1,69 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rdfviews/internal/rdf"
+)
+
+func benchStore(b *testing.B, n int) *Store {
+	b.Helper()
+	st := New()
+	rng := rand.New(rand.NewSource(1))
+	d := st.Dict()
+	for st.Len() < n {
+		st.Add(Triple{
+			d.EncodeIRI(fmt.Sprintf("s%d", rng.Intn(n/4+1))),
+			d.EncodeIRI(fmt.Sprintf("p%d", rng.Intn(32))),
+			d.EncodeIRI(fmt.Sprintf("o%d", rng.Intn(n/4+1))),
+		})
+	}
+	st.Count(Pattern{}) // build indexes outside the timed region
+	return st
+}
+
+func BenchmarkCountByProperty(b *testing.B) {
+	st := benchStore(b, 50000)
+	p, _ := st.Dict().LookupIRI("p7")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = st.Count(Pattern{Wildcard, p, Wildcard})
+	}
+}
+
+func BenchmarkScanByProperty(b *testing.B) {
+	st := benchStore(b, 50000)
+	p, _ := st.Dict().LookupIRI("p7")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		st.Scan(Pattern{Wildcard, p, Wildcard}, func(Triple) bool { n++; return true })
+	}
+}
+
+func BenchmarkAddDedup(b *testing.B) {
+	g := rdf.MustParse("a p b .")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := New()
+		st.MustAddGraph(g)
+		for j := 0; j < 100; j++ {
+			st.Add(Triple{1, 2, 3}) // duplicate
+		}
+	}
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	st := benchStore(b, 20000)
+	tr := st.Triples()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st2 := NewWithDict(st.Dict())
+		for _, t := range tr {
+			st2.Add(t)
+		}
+		st2.Count(Pattern{}) // force the six sorts
+	}
+}

@@ -1,0 +1,394 @@
+// Package store implements the dictionary-encoded, fully indexed triple table
+// that the paper uses as its storage layout (Section 6, "Platform and data
+// layout"): one table t(s, p, o) of integer-coded triples, indexed on every
+// column combination. The six sorted permutations (SPO, SOP, PSO, POS, OSP,
+// OPS — the Hexastore scheme of [23]) provide:
+//
+//   - exact counts for any triple pattern with 0–3 constants, which is
+//     precisely the statistics-gathering primitive of Section 3.3;
+//   - prefix range scans used by the index-nested-loop query evaluator.
+//
+// The store is in-memory. Triples are deduplicated (the paper's Barton
+// dataset was cleaned of duplicates before use).
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"rdfviews/internal/dict"
+	"rdfviews/internal/rdf"
+)
+
+// Triple is a dictionary-encoded RDF triple: [s, p, o].
+type Triple [3]dict.ID
+
+// Pattern is a triple pattern: each position holds a constant ID or Wildcard.
+type Pattern [3]dict.ID
+
+// Wildcard marks an unconstrained position in a Pattern.
+const Wildcard dict.ID = 0
+
+// Column indexes into triples and patterns.
+const (
+	S = 0
+	P = 1
+	O = 2
+)
+
+// ColumnName returns "s", "p" or "o".
+func ColumnName(c int) string {
+	switch c {
+	case S:
+		return "s"
+	case P:
+		return "p"
+	case O:
+		return "o"
+	}
+	return fmt.Sprintf("col%d", c)
+}
+
+// The six permutations, in the fixed order used by indexFor.
+var perms = [6][3]int{
+	{S, P, O}, // SPO
+	{S, O, P}, // SOP
+	{P, S, O}, // PSO
+	{P, O, S}, // POS
+	{O, S, P}, // OSP
+	{O, P, S}, // OPS
+}
+
+// Store is the triple table plus its dictionary and indexes.
+// Create with New, add triples, then query; indexes are (re)built lazily.
+type Store struct {
+	dict    *dict.Dictionary
+	triples []Triple
+	present map[Triple]struct{}
+
+	dirty   bool
+	indexes [6][]int32 // positions into triples, sorted by the permutation
+
+	statsOnce bool
+	colStats  [3]columnStats
+}
+
+type columnStats struct {
+	distinct int
+	min, max dict.ID
+	avgLen   float64
+}
+
+// New returns an empty store with a fresh dictionary.
+func New() *Store {
+	return NewWithDict(dict.New())
+}
+
+// NewWithDict returns an empty store sharing an existing dictionary, so its
+// triples are ID-compatible with other stores over the same dictionary
+// (saturated copies, restricted copies, ...).
+func NewWithDict(d *dict.Dictionary) *Store {
+	return &Store{
+		dict:    d,
+		present: make(map[Triple]struct{}),
+		dirty:   true,
+	}
+}
+
+// Dict returns the store's dictionary.
+func (st *Store) Dict() *dict.Dictionary { return st.dict }
+
+// Len returns the number of distinct triples.
+func (st *Store) Len() int { return len(st.triples) }
+
+// Add inserts an encoded triple, ignoring duplicates. It reports whether the
+// triple was new.
+func (st *Store) Add(t Triple) bool {
+	if _, ok := st.present[t]; ok {
+		return false
+	}
+	st.present[t] = struct{}{}
+	st.triples = append(st.triples, t)
+	st.dirty = true
+	st.statsOnce = false
+	return true
+}
+
+// Contains reports whether the exact triple is present.
+func (st *Store) Contains(t Triple) bool {
+	_, ok := st.present[t]
+	return ok
+}
+
+// Remove deletes a triple, reporting whether it was present. Indexes are
+// rebuilt lazily on the next query.
+func (st *Store) Remove(t Triple) bool {
+	if _, ok := st.present[t]; !ok {
+		return false
+	}
+	delete(st.present, t)
+	for i, x := range st.triples {
+		if x == t {
+			last := len(st.triples) - 1
+			st.triples[i] = st.triples[last]
+			st.triples = st.triples[:last]
+			break
+		}
+	}
+	st.dirty = true
+	st.statsOnce = false
+	return true
+}
+
+// Encode encodes an rdf.Triple with the store's dictionary.
+func (st *Store) Encode(t rdf.Triple) Triple {
+	return Triple{st.dict.Encode(t.S), st.dict.Encode(t.P), st.dict.Encode(t.O)}
+}
+
+// AddGraph loads an rdf.Graph, validating well-formedness. It returns the
+// number of new (non-duplicate) triples added.
+func (st *Store) AddGraph(g rdf.Graph) (int, error) {
+	added := 0
+	for _, t := range g {
+		if err := t.Validate(); err != nil {
+			return added, err
+		}
+		if st.Add(st.Encode(t)) {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// MustAddGraph is AddGraph panicking on invalid triples; for tests/examples.
+func (st *Store) MustAddGraph(g rdf.Graph) int {
+	n, err := st.AddGraph(g)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Triples returns the backing slice of distinct triples in insertion order.
+// The caller must not modify it.
+func (st *Store) Triples() []Triple { return st.triples }
+
+// build (re)creates the six sorted permutation indexes.
+func (st *Store) build() {
+	if !st.dirty {
+		return
+	}
+	n := len(st.triples)
+	for pi, perm := range perms {
+		idx := st.indexes[pi]
+		if cap(idx) < n {
+			idx = make([]int32, n)
+		} else {
+			idx = idx[:n]
+		}
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		p0, p1, p2 := perm[0], perm[1], perm[2]
+		sort.Slice(idx, func(a, b int) bool {
+			ta, tb := st.triples[idx[a]], st.triples[idx[b]]
+			if ta[p0] != tb[p0] {
+				return ta[p0] < tb[p0]
+			}
+			if ta[p1] != tb[p1] {
+				return ta[p1] < tb[p1]
+			}
+			return ta[p2] < tb[p2]
+		})
+		st.indexes[pi] = idx
+	}
+	st.dirty = false
+}
+
+// indexFor picks the permutation whose prefix covers the bound positions of
+// the pattern, and returns (index number, bound prefix in permutation order).
+func indexFor(pat Pattern) (int, []dict.ID) {
+	bs, bp, bo := pat[S] != Wildcard, pat[P] != Wildcard, pat[O] != Wildcard
+	switch {
+	case bs && bp && bo:
+		return 0, []dict.ID{pat[S], pat[P], pat[O]}
+	case bs && bp:
+		return 0, []dict.ID{pat[S], pat[P]}
+	case bs && bo:
+		return 1, []dict.ID{pat[S], pat[O]}
+	case bp && bo:
+		return 3, []dict.ID{pat[P], pat[O]}
+	case bs:
+		return 0, []dict.ID{pat[S]}
+	case bp:
+		return 2, []dict.ID{pat[P]}
+	case bo:
+		return 4, []dict.ID{pat[O]}
+	default:
+		return 0, nil
+	}
+}
+
+// rangeOf returns the half-open [lo, hi) positions in index pi whose triples
+// match the bound prefix.
+func (st *Store) rangeOf(pi int, prefix []dict.ID) (int, int) {
+	idx := st.indexes[pi]
+	perm := perms[pi]
+	cmp := func(i int) int { // triples[idx[i]] vs prefix
+		t := st.triples[idx[i]]
+		for k, want := range prefix {
+			got := t[perm[k]]
+			if got < want {
+				return -1
+			}
+			if got > want {
+				return 1
+			}
+		}
+		return 0
+	}
+	lo := sort.Search(len(idx), func(i int) bool { return cmp(i) >= 0 })
+	hi := sort.Search(len(idx), func(i int) bool { return cmp(i) > 0 })
+	return lo, hi
+}
+
+// Count returns the exact number of triples matching the pattern. This is the
+// primitive behind the paper's statistics: exact counts for atoms with 0, 1,
+// or 2 constants (and 3, although 3-constant atoms are disallowed in views).
+func (st *Store) Count(pat Pattern) int {
+	st.build()
+	pi, prefix := indexFor(pat)
+	if prefix == nil {
+		return len(st.triples)
+	}
+	lo, hi := st.rangeOf(pi, prefix)
+	return hi - lo
+}
+
+// Scan visits every triple matching the pattern, in the order of the chosen
+// index, until fn returns false.
+func (st *Store) Scan(pat Pattern, fn func(Triple) bool) {
+	st.build()
+	pi, prefix := indexFor(pat)
+	idx := st.indexes[pi]
+	lo, hi := 0, len(idx)
+	if prefix != nil {
+		lo, hi = st.rangeOf(pi, prefix)
+	}
+	for i := lo; i < hi; i++ {
+		if !fn(st.triples[idx[i]]) {
+			return
+		}
+	}
+}
+
+// Match returns all triples matching the pattern.
+func (st *Store) Match(pat Pattern) []Triple {
+	out := make([]Triple, 0, 16)
+	st.Scan(pat, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// DistinctInColumn returns the sorted distinct IDs appearing in the column
+// within the triples matching the pattern. With an all-wildcard pattern this
+// is the distinct-value statistic of Section 3.3.
+func (st *Store) DistinctInColumn(pat Pattern, col int) []dict.ID {
+	set := make(map[dict.ID]struct{})
+	st.Scan(pat, func(t Triple) bool {
+		set[t[col]] = struct{}{}
+		return true
+	})
+	out := make([]dict.ID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// computeColStats fills the per-column statistics (distinct count, min, max,
+// average lexical width) the cost model consumes.
+func (st *Store) computeColStats() {
+	if st.statsOnce {
+		return
+	}
+	for c := 0; c < 3; c++ {
+		set := make(map[dict.ID]struct{})
+		var minID, maxID dict.ID
+		var totalLen int
+		for _, t := range st.triples {
+			id := t[c]
+			if _, ok := set[id]; !ok {
+				set[id] = struct{}{}
+				tm := st.dict.MustDecode(id)
+				totalLen += len(tm.Value)
+			}
+			if minID == 0 || id < minID {
+				minID = id
+			}
+			if id > maxID {
+				maxID = id
+			}
+		}
+		cs := columnStats{distinct: len(set), min: minID, max: maxID}
+		if len(set) > 0 {
+			cs.avgLen = float64(totalLen) / float64(len(set))
+		} else {
+			cs.avgLen = 8
+		}
+		st.colStats[c] = cs
+	}
+	st.statsOnce = true
+}
+
+// DistinctCount returns the number of distinct values in the column.
+func (st *Store) DistinctCount(col int) int {
+	st.computeColStats()
+	return st.colStats[col].distinct
+}
+
+// MinMax returns the smallest and largest ID in the column (0, 0 if empty).
+func (st *Store) MinMax(col int) (dict.ID, dict.ID) {
+	st.computeColStats()
+	return st.colStats[col].min, st.colStats[col].max
+}
+
+// AvgWidth returns the average lexical width, in bytes, of the distinct
+// values in the column — the "average size of a subject, property,
+// respectively object" of Section 3.3.
+func (st *Store) AvgWidth(col int) float64 {
+	st.computeColStats()
+	return st.colStats[col].avgLen
+}
+
+// Clone returns a deep copy of the store sharing the dictionary. It is used
+// to saturate a database without mutating the original (Section 4.2 compares
+// both on equal footing).
+func (st *Store) Clone() *Store {
+	c := &Store{
+		dict:    st.dict,
+		triples: append([]Triple(nil), st.triples...),
+		present: make(map[Triple]struct{}, len(st.present)),
+		dirty:   true,
+	}
+	for t := range st.present {
+		c.present[t] = struct{}{}
+	}
+	return c
+}
+
+// Graph decodes the whole store back to an rdf.Graph (insertion order).
+func (st *Store) Graph() rdf.Graph {
+	g := make(rdf.Graph, 0, len(st.triples))
+	for _, t := range st.triples {
+		g = append(g, rdf.Triple{
+			S: st.dict.MustDecode(t[S]),
+			P: st.dict.MustDecode(t[P]),
+			O: st.dict.MustDecode(t[O]),
+		})
+	}
+	return g
+}

@@ -1,0 +1,90 @@
+package rdfviews
+
+import (
+	"fmt"
+
+	"rdfviews/internal/engine"
+	"rdfviews/internal/maintain"
+	"rdfviews/internal/rdf"
+)
+
+// LiveViews is a materialized view set under incremental maintenance: triple
+// insertions and deletions applied through it update both the database and
+// every view extent, by delta propagation rather than recomputation — the
+// operation whose cost the VMC component of the cost function models
+// (Section 3.3).
+type LiveViews struct {
+	rec *Recommendation
+	m   *maintain.Maintainer
+}
+
+// Maintain materializes the recommended views under incremental maintenance.
+// Supported for ReasoningNone and ReasoningSaturate (under saturation, the
+// maintained store is the saturated copy, and updates are interpreted as
+// updates to it); the reformulation modes keep views virtual-by-reformulation
+// and are refreshed by re-materializing (use Materialize again), as
+// maintaining reformulated views incrementally is future work in the paper
+// too ("the maintenance of a saturated database ... may be complex and
+// costly", Section 4.2).
+func (r *Recommendation) Maintain() (*LiveViews, error) {
+	switch r.mode {
+	case ReasoningNone, ReasoningSaturate, ReasoningPre:
+		// Pre-reformulation views are plain conjunctive queries over the
+		// original store: maintainable directly.
+	default:
+		return nil, fmt.Errorf("rdfviews: incremental maintenance is not supported under reasoning mode %q; re-materialize instead", r.mode)
+	}
+	m, err := maintain.New(r.matStore, r.state.ViewQueries())
+	if err != nil {
+		return nil, err
+	}
+	return &LiveViews{rec: r, m: m}, nil
+}
+
+// parseTriple parses one N-Triples-style line.
+func (lv *LiveViews) parseTriple(line string) (rdf.Triple, error) {
+	t, ok, err := rdf.ParseLine(line)
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	if !ok {
+		return rdf.Triple{}, fmt.Errorf("rdfviews: no triple in %q", line)
+	}
+	return t, nil
+}
+
+// Insert adds one triple (N-Triples-style line) to the database and
+// propagates it to every view. It returns the number of view tuples added.
+func (lv *LiveViews) Insert(line string) (int, error) {
+	t, err := lv.parseTriple(line)
+	if err != nil {
+		return 0, err
+	}
+	return lv.m.Insert(lv.rec.matStore.Encode(t))
+}
+
+// Delete removes one triple and propagates the deletion. It returns the
+// number of view tuples removed.
+func (lv *LiveViews) Delete(line string) (int, error) {
+	t, err := lv.parseTriple(line)
+	if err != nil {
+		return 0, err
+	}
+	return lv.m.Delete(lv.rec.matStore.Encode(t))
+}
+
+// Answer executes the rewriting of workload query i over the maintained
+// views, returning decoded rows.
+func (lv *LiveViews) Answer(i int) ([][]string, error) {
+	if i < 0 || i >= len(lv.rec.state.Plans) {
+		return nil, fmt.Errorf("rdfviews: query index %d out of range", i)
+	}
+	rel, err := engine.Execute(lv.rec.state.Plans[i], lv.m.Resolver())
+	if err != nil {
+		return nil, err
+	}
+	return lv.rec.db.decodeRows(rel), nil
+}
+
+// NumRows returns the total maintained view tuples.
+func (lv *LiveViews) NumRows() int { return lv.m.NumRows() }

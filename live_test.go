@@ -1,0 +1,105 @@
+package rdfviews
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLiveViewsInsertDelete(t *testing.T) {
+	db := paintersDB(t)
+	w := db.MustParseWorkload(paintersQuery)
+	rec, err := db.Recommend(w, Options{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := rec.Maintain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := lv.Answer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != 2 {
+		t.Fatalf("initial answers = %d", len(before))
+	}
+	// u5's child u6 starts painting: one more answer.
+	if _, err := lv.Insert("u6 hasPainted wheatfield ."); err != nil {
+		t.Fatal(err)
+	}
+	after, err := lv.Answer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 3 {
+		t.Fatalf("answers after insert = %d, want 3", len(after))
+	}
+	// Remove it again.
+	if _, err := lv.Delete("u6 hasPainted wheatfield ."); err != nil {
+		t.Fatal(err)
+	}
+	final, err := lv.Answer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != 2 {
+		t.Fatalf("answers after delete = %d, want 2", len(final))
+	}
+	if lv.NumRows() == 0 {
+		t.Error("no maintained rows")
+	}
+	// Errors surface.
+	if _, err := lv.Insert("not a triple with many tokens ."); err == nil {
+		t.Error("bad triple accepted")
+	}
+	if _, err := lv.Insert("# comment only"); err == nil {
+		t.Error("empty line accepted")
+	}
+	if _, err := lv.Answer(42); err == nil {
+		t.Error("bad index accepted")
+	}
+}
+
+func TestMaintainRejectedUnderPostReformulation(t *testing.T) {
+	db := NewDatabase()
+	db.MustLoadGraphString(museumData)
+	db.MustLoadSchemaString(museumSchema)
+	w := db.MustParseWorkload(`q(X) :- t(X, rdf:type, picture)`)
+	rec, err := db.Recommend(w, Options{Reasoning: ReasoningPost, Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Maintain(); err == nil {
+		t.Fatal("post-reformulation maintenance should be rejected")
+	}
+}
+
+func TestMaintainUnderSaturation(t *testing.T) {
+	db := NewDatabase()
+	db.MustLoadGraphString(museumData)
+	db.MustLoadSchemaString(museumSchema)
+	w := db.MustParseWorkload(`q(X) :- t(X, rdf:type, picture)`)
+	rec, err := db.Recommend(w, Options{Reasoning: ReasoningSaturate, Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := rec.Maintain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := lv.Answer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // m1, m2 (paintings ⊑ picture), m3
+		t.Fatalf("saturated answers = %d, want 3", len(rows))
+	}
+	// An update against the saturated store: new explicit picture.
+	if _, err := lv.Insert("m9 rdf:type picture ."); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = lv.Answer(0)
+	if len(rows) != 4 {
+		t.Fatalf("answers after insert = %d, want 4", len(rows))
+	}
+}

@@ -1,0 +1,131 @@
+package rdfviews
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestDatabaseSaveOpenRoundTrip(t *testing.T) {
+	db := NewDatabase()
+	db.MustLoadGraphString(paintersData)
+	db.MustLoadSchemaString(museumSchema)
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTriples() != db.NumTriples() {
+		t.Fatalf("triples %d != %d", back.NumTriples(), db.NumTriples())
+	}
+	if back.SchemaSize() != db.SchemaSize() {
+		t.Fatalf("schema %d != %d", back.SchemaSize(), db.SchemaSize())
+	}
+	// The restored database answers queries identically.
+	w := back.MustParseWorkload(paintersQuery)
+	rows, err := back.Answer(w.Queries[0], ReasoningNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("restored answers = %v", rows)
+	}
+}
+
+func TestOpenDatabaseRejectsGarbage(t *testing.T) {
+	if _, err := OpenDatabase(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestBundleOfflineRoundTrip is the three-tier shipping test: a bundle
+// written by the server answers the workload on a client that has neither
+// the database nor the library's server-side state.
+func TestBundleOfflineRoundTrip(t *testing.T) {
+	db := paintersDB(t)
+	w := db.MustParseWorkload(paintersQuery + "\nq(A, B) :- t(A, hasPainted, B)")
+	rec, err := db.Recommend(w, Options{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := rec.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mat.SaveBundle(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Client side": only the bundle bytes.
+	off, err := LoadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.NumQueries() != 2 {
+		t.Fatalf("NumQueries = %d", off.NumQueries())
+	}
+	if off.NumRows() == 0 {
+		t.Fatal("no shipped rows")
+	}
+	if off.QueryText(0) == "" || off.QueryText(99) != "" {
+		t.Error("QueryText wrong")
+	}
+	for i := 0; i < off.NumQueries(); i++ {
+		got, err := off.Answer(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mat.Answer(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: bundle %d rows, direct %d", i, len(got), len(want))
+		}
+	}
+	if _, err := off.Answer(99); err == nil {
+		t.Error("out-of-range query must fail")
+	}
+}
+
+func TestBundleWithReasoning(t *testing.T) {
+	db := NewDatabase()
+	db.MustLoadGraphString(museumData)
+	db.MustLoadSchemaString(museumSchema)
+	w := db.MustParseWorkload(`q(X, Y) :- t(X, rdf:type, picture), t(X, isLocatIn, Y)`)
+	rec, err := db.Recommend(w, Options{Reasoning: ReasoningPost, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := rec.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mat.SaveBundle(&buf); err != nil {
+		t.Fatal(err)
+	}
+	off, err := LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := off.Answer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shipped views already include the implicit triples.
+	if len(rows) != 2 {
+		t.Fatalf("bundle answers = %v", rows)
+	}
+}
+
+func TestLoadBundleRejectsGarbage(t *testing.T) {
+	if _, err := LoadBundle(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,246 @@
+// Package rdfviews is a materialized-view selection toolkit for Semantic Web
+// databases, implementing Goasdoué, Karanasos, Leblay & Manolescu, "View
+// Selection in Semantic Web Databases" (PVLDB 5(2), 2011).
+//
+// Given an RDF database (with an optional RDF Schema) and a workload of
+// conjunctive (basic graph pattern) queries, the library recommends a set of
+// views to materialize together with one equivalent rewriting per workload
+// query, minimizing a combination of query evaluation cost, view storage
+// space and view maintenance cost. All workload queries can then be answered
+// from the views alone — enabling the paper's three-tier/off-line deployment
+// where clients never touch the database.
+//
+// Implicit triples entailed by the RDF Schema are honored through either
+// database saturation or the paper's novel query reformulation algorithm
+// (post-reformulation), selected with Options.Reasoning.
+//
+// Quick start:
+//
+//	db := rdfviews.NewDatabase()
+//	db.MustLoadGraphString(`
+//	    u1 hasPainted starryNight .
+//	    u1 isParentOf u2 .
+//	    u2 hasPainted irises .`)
+//	wl := db.MustParseWorkload(`
+//	    q(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y), t(Y, hasPainted, Z)`)
+//	rec, err := db.Recommend(wl, rdfviews.Options{})
+//	// rec.ViewDefinitions() — the views to materialize
+//	// rec.Materialize()    — their extents + query answering over them
+package rdfviews
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rdfviews/internal/cq"
+	"rdfviews/internal/engine"
+	"rdfviews/internal/rdf"
+	"rdfviews/internal/store"
+)
+
+// Database holds the RDF data (a dictionary-encoded, fully indexed triple
+// table) and the optional RDF Schema. Create with NewDatabase.
+type Database struct {
+	st     *store.Store
+	schema *rdf.Schema
+}
+
+// NewDatabase returns an empty database with an empty schema.
+func NewDatabase() *Database {
+	return &Database{st: store.New(), schema: rdf.NewSchema()}
+}
+
+// LoadGraph parses N-Triples-style input (see internal syntax notes: full
+// <IRIs>, bare tokens, "literals", _:blanks) and loads it. RDFS statements
+// (subClassOf, subPropertyOf, domain, range) found in the input are added to
+// the schema as well as to the data.
+func (db *Database) LoadGraph(r io.Reader) (int, error) {
+	g, err := rdf.Parse(r)
+	if err != nil {
+		return 0, err
+	}
+	return db.addGraph(g)
+}
+
+// LoadGraphString is LoadGraph over a string.
+func (db *Database) LoadGraphString(s string) (int, error) {
+	return db.LoadGraph(strings.NewReader(s))
+}
+
+// MustLoadGraphString panics on error; for examples and tests.
+func (db *Database) MustLoadGraphString(s string) int {
+	n, err := db.LoadGraphString(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (db *Database) addGraph(g rdf.Graph) (int, error) {
+	sch, err := rdf.SchemaFromGraph(g)
+	if err != nil {
+		return 0, err
+	}
+	for _, st := range sch.Statements() {
+		db.schema.Add(st)
+	}
+	var data rdf.Graph
+	for _, t := range g {
+		if !rdf.IsSchemaProperty(t.P.Value) {
+			data = append(data, t)
+		}
+	}
+	return db.st.AddGraph(data)
+}
+
+// LoadSchema parses RDFS statements only (data triples in the input are an
+// error, keeping schema files honest).
+func (db *Database) LoadSchema(r io.Reader) (int, error) {
+	g, err := rdf.Parse(r)
+	if err != nil {
+		return 0, err
+	}
+	for _, t := range g {
+		if !rdf.IsSchemaProperty(t.P.Value) {
+			return 0, fmt.Errorf("rdfviews: non-schema triple in schema input: %v", t)
+		}
+	}
+	sch, err := rdf.SchemaFromGraph(g)
+	if err != nil {
+		return 0, err
+	}
+	for _, st := range sch.Statements() {
+		db.schema.Add(st)
+	}
+	return sch.Len(), nil
+}
+
+// LoadSchemaString is LoadSchema over a string.
+func (db *Database) LoadSchemaString(s string) (int, error) {
+	return db.LoadSchema(strings.NewReader(s))
+}
+
+// MustLoadSchemaString panics on error; for examples and tests.
+func (db *Database) MustLoadSchemaString(s string) int {
+	n, err := db.LoadSchemaString(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// NumTriples returns the number of distinct data triples.
+func (db *Database) NumTriples() int { return db.st.Len() }
+
+// SchemaSize returns the number of RDFS statements.
+func (db *Database) SchemaSize() int { return db.schema.Len() }
+
+// Store exposes the underlying triple store for advanced integrations
+// (experiment harnesses, custom statistics).
+func (db *Database) Store() *store.Store { return db.st }
+
+// Schema exposes the underlying RDF schema.
+func (db *Database) Schema() *rdf.Schema { return db.schema }
+
+// Workload is a parsed set of conjunctive queries sharing the database's
+// dictionary. Queries use disjoint variable namespaces.
+type Workload struct {
+	Queries []*cq.Query
+	source  []string
+}
+
+// Len returns the number of queries.
+func (w *Workload) Len() int { return len(w.Queries) }
+
+// ParseWorkload parses one query per non-empty, non-comment line, in the
+// Datalog-like syntax of the paper:
+//
+//	q(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y), t(Y, hasPainted, Z)
+func (db *Database) ParseWorkload(text string) (*Workload, error) {
+	p := cq.NewParser(db.st.Dict())
+	qs, err := p.ParseWorkload(text)
+	if err != nil {
+		return nil, err
+	}
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("rdfviews: empty workload")
+	}
+	w := &Workload{Queries: qs}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && !strings.HasPrefix(line, "#") {
+			w.source = append(w.source, line)
+		}
+	}
+	return w, nil
+}
+
+// MustParseWorkload panics on error; for examples and tests.
+func (db *Database) MustParseWorkload(text string) *Workload {
+	w, err := db.ParseWorkload(text)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// ParseSPARQLWorkload parses a workload of SPARQL basic-graph-pattern SELECT
+// queries, separated by lines containing only ";;". Each query gets fresh
+// variables. The supported fragment is the paper's query language: BGPs with
+// PREFIX declarations, SELECT lists or *, the 'a' shorthand, literals and
+// blank nodes (which behave as existential variables).
+func (db *Database) ParseSPARQLWorkload(text string) (*Workload, error) {
+	p := cq.NewParser(db.st.Dict())
+	var qs []*cq.Query
+	for i, chunk := range strings.Split(text, ";;") {
+		chunk = strings.TrimSpace(chunk)
+		if chunk == "" {
+			continue
+		}
+		p.ResetNames()
+		q, err := p.ParseSPARQL(chunk)
+		if err != nil {
+			return nil, fmt.Errorf("rdfviews: SPARQL query %d: %w", i+1, err)
+		}
+		qs = append(qs, q)
+	}
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("rdfviews: empty workload")
+	}
+	return &Workload{Queries: qs}, nil
+}
+
+// Answer evaluates one workload query directly on the database (not using
+// views), returning decoded rows. Reasoning is honored per the mode: with
+// ReasoningSaturate the query runs on a saturated copy; with the
+// reformulation modes the query is reformulated first; with ReasoningNone
+// the explicit triples only.
+func (db *Database) Answer(q *cq.Query, mode Reasoning) ([][]string, error) {
+	rel, err := db.answerRelation(q, mode)
+	if err != nil {
+		return nil, err
+	}
+	return db.decodeRows(rel), nil
+}
+
+func (db *Database) decodeRows(rel *engine.Relation) [][]string {
+	out := make([][]string, 0, rel.Len())
+	for _, row := range rel.Rows {
+		r := make([]string, len(row))
+		for i, id := range row {
+			t, err := db.st.Dict().Decode(id)
+			if err != nil {
+				r[i] = fmt.Sprintf("?%d", id)
+				continue
+			}
+			if t.Kind == rdf.IRI {
+				r[i] = rdf.ShortenIRI(t.Value)
+			} else {
+				r[i] = t.Value
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+package rdfviews
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const paintersData = `
+u1 hasPainted starryNight .
+u1 isParentOf u2 .
+u2 hasPainted irises .
+u2 hasPainted sunflowers .
+u3 isParentOf u4 .
+u3 hasPainted guernica .
+u4 hasPainted lesDemoiselles .
+u5 hasPainted starryNight .
+u5 isParentOf u6 .
+`
+
+const paintersQuery = `q(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y), t(Y, hasPainted, Z)`
+
+func paintersDB(t testing.TB) *Database {
+	t.Helper()
+	db := NewDatabase()
+	db.MustLoadGraphString(paintersData)
+	return db
+}
+
+func TestDatabaseLoading(t *testing.T) {
+	db := NewDatabase()
+	n, err := db.LoadGraphString(paintersData)
+	if err != nil || n != 9 {
+		t.Fatalf("LoadGraphString = %d, %v", n, err)
+	}
+	if db.NumTriples() != 9 {
+		t.Fatalf("NumTriples = %d", db.NumTriples())
+	}
+	// Schema statements embedded in data go to the schema, not to the data.
+	n2, err := db.LoadGraphString("painting rdfs:subClassOf picture .\nx rdf:type painting .")
+	if err != nil || n2 != 1 {
+		t.Fatalf("mixed load = %d, %v", n2, err)
+	}
+	if db.SchemaSize() != 1 {
+		t.Fatalf("SchemaSize = %d", db.SchemaSize())
+	}
+	// LoadSchema rejects data triples.
+	if _, err := db.LoadSchemaString("a b c ."); err == nil {
+		t.Error("LoadSchema should reject data triples")
+	}
+	if _, err := db.LoadSchemaString("isExpIn rdfs:subPropertyOf isLocatIn ."); err != nil {
+		t.Errorf("LoadSchema: %v", err)
+	}
+	if _, err := db.LoadGraphString("garbage line with five tokens here ."); err == nil {
+		t.Error("parse errors must propagate")
+	}
+}
+
+func TestParseWorkloadErrors(t *testing.T) {
+	db := paintersDB(t)
+	if _, err := db.ParseWorkload(""); err == nil {
+		t.Error("empty workload must fail")
+	}
+	if _, err := db.ParseWorkload("q(X) : t(X, p, o)"); err == nil {
+		t.Error("syntax error must propagate")
+	}
+	w := db.MustParseWorkload("# comment\n" + paintersQuery + "\n")
+	if w.Len() != 1 {
+		t.Fatalf("workload len = %d", w.Len())
+	}
+}
+
+func TestRecommendEndToEnd(t *testing.T) {
+	db := paintersDB(t)
+	w := db.MustParseWorkload(paintersQuery)
+	rec, err := db.Recommend(w, Options{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.NumViews() == 0 {
+		t.Fatal("no views recommended")
+	}
+	if rec.RCR() < 0 || rec.RCR() > 1 {
+		t.Fatalf("rcr = %v", rec.RCR())
+	}
+	if len(rec.ViewDefinitions()) != rec.NumViews() {
+		t.Error("view definitions mismatch")
+	}
+	if len(rec.Rewritings()) != 1 {
+		t.Error("one rewriting expected")
+	}
+	if rec.Cost().Total > rec.InitialCost().Total {
+		t.Error("recommended state costs more than S0")
+	}
+
+	// The three-tier check: answers from views only == direct answers.
+	mat, err := rec.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mat.Answer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Answer(w.Queries[0], ReasoningNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("views answer %d rows, direct %d", len(got), len(want))
+	}
+	if len(got) != 2 {
+		t.Fatalf("expected u1's two child works, got %v", got)
+	}
+	for _, row := range got {
+		if row[0] != "u1" {
+			t.Errorf("unexpected painter %q", row[0])
+		}
+	}
+	if mat.NumRows() == 0 || mat.SizeBytes() == 0 {
+		t.Error("materialization empty")
+	}
+	if _, err := mat.Answer(99); err == nil {
+		t.Error("out-of-range query index must fail")
+	}
+}
+
+func TestRecommendAllStrategies(t *testing.T) {
+	db := paintersDB(t)
+	w := db.MustParseWorkload(`
+q(X) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y)
+q(A) :- t(A, hasPainted, starryNight), t(A, isParentOf, B)
+`)
+	for _, s := range []Strategy{StrategyDFS, StrategyGSTR, StrategyExNaive, StrategyExStr,
+		StrategyPruning, StrategyGreedy, StrategyHeuristic} {
+		rec, err := db.Recommend(w, Options{Strategy: s, Timeout: 2 * time.Second})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if rec.RCR() < 0 {
+			t.Errorf("%s: negative rcr", s)
+		}
+		mat, err := rec.Materialize()
+		if err != nil {
+			t.Fatalf("%s materialize: %v", s, err)
+		}
+		got, err := mat.AnswerRelation(0)
+		if err != nil {
+			t.Fatalf("%s answer: %v", s, err)
+		}
+		want, _ := db.answerRelation(w.Queries[0], ReasoningNone)
+		if !got.EqualAsSet(want) {
+			t.Errorf("%s: view-based answers differ from direct evaluation", s)
+		}
+	}
+	if _, err := db.Recommend(w, Options{Strategy: "bogus"}); err == nil {
+		t.Error("unknown strategy must fail")
+	}
+	if _, err := db.Recommend(nil, Options{}); err == nil {
+		t.Error("nil workload must fail")
+	}
+}
+
+const museumData = `
+m1 rdf:type painting .
+m2 rdf:type painting .
+m3 rdf:type picture .
+m1 isExpIn louvre .
+m2 isLocatIn orsay .
+m4 isExpIn prado .
+`
+
+const museumSchema = `
+painting rdfs:subClassOf picture .
+isExpIn rdfs:subPropertyOf isLocatIn .
+`
+
+// TestReasoningModesAgree: saturation and post-reformulation must recommend
+// equivalent views and produce identical answers (Section 6.5: "The views
+// recommended in a saturation and a post-reformulation context are the
+// same"), and both must include implicit triples.
+func TestReasoningModesAgree(t *testing.T) {
+	query := `q(X, Y) :- t(X, rdf:type, picture), t(X, isLocatIn, Y)`
+	answers := map[Reasoning][][]string{}
+	for _, mode := range []Reasoning{ReasoningSaturate, ReasoningPost, ReasoningPre} {
+		db := NewDatabase()
+		db.MustLoadGraphString(museumData)
+		db.MustLoadSchemaString(museumSchema)
+		w := db.MustParseWorkload(query)
+		rec, err := db.Recommend(w, Options{Reasoning: mode, Timeout: 2 * time.Second})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		mat, err := rec.Materialize()
+		if err != nil {
+			t.Fatalf("%s materialize: %v", mode, err)
+		}
+		rows, err := mat.Answer(0)
+		if err != nil {
+			t.Fatalf("%s answer: %v", mode, err)
+		}
+		answers[mode] = rows
+	}
+	// m1 is a painting (⊑ picture) exhibited (⊑ located) in the louvre;
+	// m2 is a painting located in orsay. Two answers.
+	for mode, rows := range answers {
+		if len(rows) != 2 {
+			t.Errorf("%s: %d answers, want 2 (%v)", mode, len(rows), rows)
+		}
+	}
+	// Without reasoning, no complete answers (m1 type picture is implicit...
+	// m3 is picture but has no location): zero rows.
+	db := NewDatabase()
+	db.MustLoadGraphString(museumData)
+	w := db.MustParseWorkload(query)
+	rec, err := db.Recommend(w, Options{Reasoning: ReasoningNone, Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, _ := rec.Materialize()
+	rows, _ := mat.Answer(0)
+	if len(rows) != 0 {
+		t.Errorf("ReasoningNone found %d rows, want 0", len(rows))
+	}
+}
+
+func TestDefaultReasoningFollowsSchema(t *testing.T) {
+	db := NewDatabase()
+	db.MustLoadGraphString(museumData)
+	db.MustLoadSchemaString(museumSchema)
+	w := db.MustParseWorkload(`q(X) :- t(X, rdf:type, picture)`)
+	rec, err := db.Recommend(w, Options{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := rec.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := mat.Answer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // m1, m2 (paintings), m3 (picture)
+		t.Errorf("default reasoning rows = %d, want 3: %v", len(rows), rows)
+	}
+}
+
+func TestAnswerModes(t *testing.T) {
+	db := NewDatabase()
+	db.MustLoadGraphString(museumData)
+	db.MustLoadSchemaString(museumSchema)
+	w := db.MustParseWorkload(`q(X) :- t(X, isLocatIn, Y)`)
+	q := w.Queries[0]
+	none, err := db.Answer(q, ReasoningNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat, err := db.Answer(q, ReasoningSaturate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := db.Answer(q, ReasoningPost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 1 { // only m2 explicitly
+		t.Errorf("none = %v", none)
+	}
+	if len(sat) != 3 || len(post) != 3 { // m1, m2, m4
+		t.Errorf("sat = %d post = %d, want 3", len(sat), len(post))
+	}
+	if _, err := db.Answer(q, Reasoning("bogus")); err == nil {
+		t.Error("bad mode must fail")
+	}
+}
+
+func TestWeightsInfluenceRecommendation(t *testing.T) {
+	db := paintersDB(t)
+	w := db.MustParseWorkload(paintersQuery)
+	cheapStorage, err := db.Recommend(w, Options{
+		Weights: Weights{CS: 1e-9, CM: 1e-9}, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With storage and maintenance nearly free, materializing the query
+	// itself (the initial state) is optimal: expect the scan-only state.
+	if got := cheapStorage.NumViews(); got != 1 {
+		t.Errorf("cheap storage: %d views, want the materialized query", got)
+	}
+	if !strings.Contains(cheapStorage.Rewritings()[0], "v") {
+		t.Error("rewriting should reference a view")
+	}
+}

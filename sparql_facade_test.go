@@ -1,0 +1,70 @@
+package rdfviews
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseSPARQLWorkload(t *testing.T) {
+	db := paintersDB(t)
+	w, err := db.ParseSPARQLWorkload(`
+SELECT ?x ?z WHERE {
+    ?x hasPainted starryNight .
+    ?x isParentOf ?y .
+    ?y hasPainted ?z .
+}
+;;
+SELECT ?p ?w WHERE { ?p hasPainted ?w }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("workload len = %d", w.Len())
+	}
+	// Variables must be disjoint across queries.
+	if w.Queries[0].Head[0] == w.Queries[1].Head[0] {
+		t.Error("SPARQL queries share variables")
+	}
+	// The SPARQL workload behaves identically to the Datalog one end to end.
+	rec, err := db.Recommend(w, Options{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := rec.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := mat.Answer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("answers = %v", rows)
+	}
+}
+
+func TestParseSPARQLWorkloadErrors(t *testing.T) {
+	db := paintersDB(t)
+	if _, err := db.ParseSPARQLWorkload(""); err == nil {
+		t.Error("empty workload must fail")
+	}
+	if _, err := db.ParseSPARQLWorkload("SELECT ?x WHERE { ?x p }"); err == nil {
+		t.Error("syntax error must propagate")
+	}
+}
+
+func TestRecommendPreReformulationLimit(t *testing.T) {
+	db := NewDatabase()
+	db.MustLoadGraphString(museumData)
+	db.MustLoadSchemaString(museumSchema)
+	w := db.MustParseWorkload(`q(X, P) :- t(X, P, louvre), t(X, Q2, orsay)`)
+	// Rule 6 fires twice; a limit of 1 must trip during pre-reformulation.
+	if _, err := db.Recommend(w, Options{
+		Reasoning:     ReasoningPre,
+		MaxUnionTerms: 1,
+		Timeout:       time.Second,
+	}); err == nil {
+		t.Fatal("union-term limit should propagate")
+	}
+}
