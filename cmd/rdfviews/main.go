@@ -6,7 +6,8 @@
 // Usage:
 //
 //	rdfviews -data data.nt -queries workload.cq [-schema schema.nt] \
-//	         [-strategy dfs] [-reasoning post] [-timeout 10s] [-answer]
+//	         [-strategy dfs] [-reasoning post] [-timeout 10s] [-answer] \
+//	         [-explain-physical]
 //
 // The workload file holds one query per line:
 //
@@ -32,6 +33,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 10*time.Second, "search time budget (stoptime)")
 		answer     = flag.Bool("answer", false, "materialize the views and print each query's answers")
 		maxRows    = flag.Int("maxrows", 10, "max answer rows to print per query")
+		explainPhy = flag.Bool("explain-physical", false, "print the physical plans: view materialization pipelines (scan permutations, joins) and rewriting operator trees")
 	)
 	flag.Parse()
 	if *dataPath == "" || *queryPath == "" {
@@ -81,6 +83,11 @@ func main() {
 	fmt.Println("\nrewritings:")
 	for i, r := range rec.Rewritings() {
 		fmt.Printf("  q%d = %s\n", i+1, r)
+	}
+
+	if *explainPhy {
+		fmt.Println()
+		fmt.Print(rec.ExplainPhysical())
 	}
 
 	if *answer {

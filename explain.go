@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"rdfviews/internal/algebra"
+	"rdfviews/internal/engine"
 )
 
 // ViewStat describes one recommended view with its cost-model estimates.
@@ -91,5 +94,53 @@ func (r *Recommendation) Explain() string {
 		fmt.Fprintf(&sb, "  q%d: io ≈%.0f, cpu ≈%.0f, rows ≈%.0f\n      %s\n      = %s\n",
 			i+1, p.EstIO, p.EstCPU, p.EstRows, p.Query, p.Plan)
 	}
+	sb.WriteString("\n")
+	sb.WriteString(r.ExplainPhysical())
 	return sb.String()
+}
+
+// ExplainPhysical renders the physical execution plans behind the
+// recommendation: for each view, the scan-permutation/join pipeline the
+// engine compiles to materialize it against the store, and for each
+// rewriting, the streaming operator tree it executes over the materialized
+// views. This is the physical counterpart of the logical rewritings shown by
+// Explain.
+func (r *Recommendation) ExplainPhysical() string {
+	var sb strings.Builder
+	sb.WriteString("physical plans:\n")
+	sb.WriteString("  view materialization (over the store):\n")
+	for _, v := range r.state.SortedViews() {
+		fmt.Fprintf(&sb, "    v%d:\n", int(v.ID))
+		qp, err := engine.PlanQueryWithStats(r.matStore, v.Q, r.estimator.Stats)
+		if err != nil {
+			fmt.Fprintf(&sb, "      (unplannable: %v)\n", err)
+			continue
+		}
+		sb.WriteString(indentLines(qp.Explain(), "      "))
+	}
+	card := func(id algebra.ViewID) float64 {
+		if v, ok := r.state.Views[id]; ok {
+			return r.estimator.ViewCardinality(v.Q)
+		}
+		return 0
+	}
+	sb.WriteString("  rewriting execution (over the views):\n")
+	for i, p := range r.state.Plans {
+		fmt.Fprintf(&sb, "    q%d:\n", i+1)
+		node, err := engine.DescribePlan(p, card)
+		if err != nil {
+			fmt.Fprintf(&sb, "      (unplannable: %v)\n", err)
+			continue
+		}
+		sb.WriteString(indentLines(node.String(), "      "))
+	}
+	return sb.String()
+}
+
+func indentLines(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
 }

@@ -38,9 +38,44 @@ func TestExplainReportsViewsAndPlans(t *testing.T) {
 		}
 	}
 	report := rec.Explain()
-	for _, want := range []string{"search:", "cost:", "breakdown:", "views", "rewritings:", "rcr"} {
+	for _, want := range []string{"search:", "cost:", "breakdown:", "views", "rewritings:", "rcr", "physical plans:"} {
 		if !strings.Contains(report, want) {
 			t.Errorf("Explain missing %q:\n%s", want, report)
 		}
+	}
+}
+
+func TestExplainPhysicalRendersOperators(t *testing.T) {
+	db := paintersDB(t)
+	w := db.MustParseWorkload(paintersQuery)
+	rec, err := db.Recommend(w, Options{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := rec.ExplainPhysical()
+	for _, want := range []string{
+		"view materialization", "rewriting execution",
+		"IndexScan", "perm=", "prefix=", "ViewScan",
+	} {
+		if !strings.Contains(phys, want) {
+			t.Errorf("ExplainPhysical missing %q:\n%s", want, phys)
+		}
+	}
+}
+
+func TestExplainQueryDirect(t *testing.T) {
+	db := paintersDB(t)
+	w := db.MustParseWorkload(paintersQuery)
+	out, err := db.ExplainQuery(w.Queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"IndexScan", "perm=", "Project"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainQuery missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "MergeJoin") && !strings.Contains(out, "HashJoin") {
+		t.Errorf("ExplainQuery shows no join operator:\n%s", out)
 	}
 }

@@ -1,0 +1,3 @@
+module rdfviews
+
+go 1.22

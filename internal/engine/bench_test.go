@@ -16,29 +16,60 @@ func benchData(b *testing.B) (*store.Store, *cq.Parser) {
 	return st, cq.NewParser(st.Dict())
 }
 
-func BenchmarkEvalQueryChain3(b *testing.B) {
-	st, p := benchData(b)
-	q := p.MustParseQuery(
-		"q(X, Z) :- t(X, " + datagen.PropName(0) + ", Y), t(Y, " + datagen.PropName(1) + ", Z)")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := EvalQuery(st, q); err != nil {
-			b.Fatal(err)
-		}
-	}
+// benchQueries are the join-heavy shapes of the old-vs-new comparison:
+// chains (merge-join friendly), stars (all joins on one variable), a mixed
+// star+chain multi-join, and a value join with no shared sort order.
+var benchQueries = map[string]string{
+	"Chain3": "q(X, Z) :- t(X, " + datagen.PropName(0) + ", Y), t(Y, " + datagen.PropName(1) + ", Z)",
+	"Chain4": "q(X, W) :- t(X, " + datagen.PropName(0) + ", Y), t(Y, " + datagen.PropName(1) + ", Z), t(Z, " + datagen.PropName(2) + ", W)",
+	"Star3": "q(X) :- t(X, " + datagen.PropName(0) + ", Y), t(X, " + datagen.PropName(1) + ", Z), " +
+		"t(X, rdf:type, " + datagen.ClassName(0) + ")",
+	"Star4": "q(X, Y, Z, W) :- t(X, " + datagen.PropName(0) + ", Y), t(X, " + datagen.PropName(1) + ", Z), " +
+		"t(X, " + datagen.PropName(2) + ", W)",
+	"MultiJoin5": "q(X, W) :- t(X, rdf:type, " + datagen.ClassName(0) + "), t(X, " + datagen.PropName(0) + ", Y), " +
+		"t(X, " + datagen.PropName(1) + ", Z), t(Y, " + datagen.PropName(2) + ", W), t(W, " + datagen.PropName(3) + ", V)",
+	"ValueJoin": "q(X, Z) :- t(X, " + datagen.PropName(0) + ", Y), t(Z, " + datagen.PropName(1) + ", Y)",
 }
 
-func BenchmarkEvalQueryStar3(b *testing.B) {
+// benchBoth runs the same query through the legacy index-nested-loop
+// evaluator and the planned streaming pipeline, so `go test -bench` yields a
+// direct old-vs-new comparison per shape.
+func benchBoth(b *testing.B, src string) {
 	st, p := benchData(b)
-	q := p.MustParseQuery(
-		"q(X) :- t(X, " + datagen.PropName(0) + ", Y), t(X, " + datagen.PropName(1) + ", Z), t(X, rdf:type, " + datagen.ClassName(0) + ")")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := EvalQuery(st, q); err != nil {
-			b.Fatal(err)
-		}
+	q := p.MustParseQuery(src)
+	want, err := evalQueryINL(st, q)
+	if err != nil {
+		b.Fatal(err)
 	}
+	got, err := EvalQuery(st, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !got.EqualAsSet(want) {
+		b.Fatalf("pipeline disagrees with INL: %d vs %d rows", got.Len(), want.Len())
+	}
+	b.Run("inl", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := evalQueryINL(st, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pipeline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := EvalQuery(st, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
+
+func BenchmarkEvalChain3(b *testing.B)     { benchBoth(b, benchQueries["Chain3"]) }
+func BenchmarkEvalChain4(b *testing.B)     { benchBoth(b, benchQueries["Chain4"]) }
+func BenchmarkEvalStar3(b *testing.B)      { benchBoth(b, benchQueries["Star3"]) }
+func BenchmarkEvalStar4(b *testing.B)      { benchBoth(b, benchQueries["Star4"]) }
+func BenchmarkEvalMultiJoin5(b *testing.B) { benchBoth(b, benchQueries["MultiJoin5"]) }
+func BenchmarkEvalValueJoin(b *testing.B)  { benchBoth(b, benchQueries["ValueJoin"]) }
 
 func BenchmarkExecuteHashJoin(b *testing.B) {
 	st, p := benchData(b)

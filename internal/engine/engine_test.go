@@ -116,7 +116,7 @@ func naiveEval(st *store.Store, q *cq.Query) *Relation {
 	}
 	vars := q.Vars()
 	out := NewRelation(q.Head)
-	seen := map[string]struct{}{}
+	seen := newRowSet(16)
 	assign := make(map[cq.Term]dict.ID)
 	var rec func(int)
 	rec = func(k int) {
@@ -142,11 +142,8 @@ func naiveEval(st *store.Store, q *cq.Query) *Relation {
 					row[i] = assign[h]
 				}
 			}
-			if k := rowKey(row); true {
-				if _, ok := seen[k]; !ok {
-					seen[k] = struct{}{}
-					out.Rows = append(out.Rows, row)
-				}
+			if seen.add(row) {
+				out.Rows = append(out.Rows, row)
 			}
 			return
 		}

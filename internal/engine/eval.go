@@ -4,135 +4,20 @@ import (
 	"fmt"
 
 	"rdfviews/internal/cq"
-	"rdfviews/internal/dict"
 	"rdfviews/internal/store"
 )
 
-// EvalQuery evaluates a conjunctive query over the triple store with an
-// index-nested-loop join: atoms are ordered greedily (most selective first,
-// preferring atoms bound to already-placed variables), and each atom is
-// resolved through the store's permutation indexes under the current partial
-// binding. Results are distinct head tuples.
+// EvalQuery evaluates a conjunctive query over the triple store by compiling
+// it to a physical plan (planner.go) and streaming the operator pipeline
+// (operators.go). Results are distinct head tuples — the same observable
+// contract as the recursive index-nested-loop evaluator this replaced (kept
+// in inl.go as a baseline).
 func EvalQuery(st *store.Store, q *cq.Query) (*Relation, error) {
-	if err := q.Validate(); err != nil {
+	p, err := PlanQuery(st, q)
+	if err != nil {
 		return nil, err
 	}
-	order := chooseAtomOrder(st, q)
-	out := NewRelation(q.Head)
-	seen := make(map[string]struct{})
-	bind := make(map[cq.Term]dict.ID)
-
-	var rec func(k int)
-	rec = func(k int) {
-		if k == len(order) {
-			row := make(Row, len(q.Head))
-			for i, h := range q.Head {
-				if h.IsConst() {
-					row[i] = h.ConstID()
-				} else {
-					row[i] = bind[h]
-				}
-			}
-			key := rowKey(row)
-			if _, ok := seen[key]; !ok {
-				seen[key] = struct{}{}
-				out.Rows = append(out.Rows, row)
-			}
-			return
-		}
-		a := q.Atoms[order[k]]
-		var pat store.Pattern
-		for p := 0; p < 3; p++ {
-			switch {
-			case a[p].IsConst():
-				pat[p] = a[p].ConstID()
-			default:
-				if v, ok := bind[a[p]]; ok {
-					pat[p] = v
-				} else {
-					pat[p] = store.Wildcard
-				}
-			}
-		}
-		st.Scan(pat, func(t store.Triple) bool {
-			var added []cq.Term
-			ok := true
-			for p := 0; p < 3 && ok; p++ {
-				term := a[p]
-				if term.IsConst() {
-					continue
-				}
-				if v, bound := bind[term]; bound {
-					if v != t[p] {
-						ok = false
-					}
-					continue
-				}
-				bind[term] = t[p]
-				added = append(added, term)
-			}
-			if ok {
-				rec(k + 1)
-			}
-			for _, v := range added {
-				delete(bind, v)
-			}
-			return true
-		})
-	}
-	rec(0)
-	return out, nil
-}
-
-// chooseAtomOrder orders atoms greedily: start from the atom with the
-// smallest exact match count; repeatedly append the connected atom (sharing a
-// bound variable) with the smallest count, falling back to the globally
-// smallest when none connects.
-func chooseAtomOrder(st *store.Store, q *cq.Query) []int {
-	n := len(q.Atoms)
-	order := make([]int, 0, n)
-	used := make([]bool, n)
-	bound := make(map[cq.Term]struct{})
-
-	countOf := func(i int) int {
-		var pat store.Pattern
-		for p := 0; p < 3; p++ {
-			if q.Atoms[i][p].IsConst() {
-				pat[p] = q.Atoms[i][p].ConstID()
-			}
-		}
-		return st.Count(pat)
-	}
-	connected := func(i int) bool {
-		for _, t := range q.Atoms[i] {
-			if t.IsVar() {
-				if _, ok := bound[t]; ok {
-					return true
-				}
-			}
-		}
-		return false
-	}
-	for len(order) < n {
-		best, bestCount, bestConn := -1, 0, false
-		for i := 0; i < n; i++ {
-			if used[i] {
-				continue
-			}
-			c, conn := countOf(i), connected(i)
-			if best == -1 || (conn && !bestConn) || (conn == bestConn && c < bestCount) {
-				best, bestCount, bestConn = i, c, conn
-			}
-		}
-		used[best] = true
-		order = append(order, best)
-		for _, t := range q.Atoms[best] {
-			if t.IsVar() {
-				bound[t] = struct{}{}
-			}
-		}
-	}
-	return order
+	return p.Eval()
 }
 
 // EvalUCQ evaluates a union of conjunctive queries with set semantics: the
@@ -143,7 +28,7 @@ func EvalUCQ(st *store.Store, u *cq.UCQ) (*Relation, error) {
 	}
 	arity := len(u.Queries[0].Head)
 	out := NewRelation(u.Queries[0].Head)
-	seen := make(map[string]struct{})
+	seen := newRowSet(64)
 	for _, q := range u.Queries {
 		if len(q.Head) != arity {
 			return nil, fmt.Errorf("engine: union arity mismatch: %d vs %d", len(q.Head), arity)
@@ -153,12 +38,9 @@ func EvalUCQ(st *store.Store, u *cq.UCQ) (*Relation, error) {
 			return nil, err
 		}
 		for _, row := range r.Rows {
-			k := rowKey(row)
-			if _, ok := seen[k]; ok {
-				continue
+			if seen.add(row) {
+				out.Rows = append(out.Rows, row)
 			}
-			seen[k] = struct{}{}
-			out.Rows = append(out.Rows, row)
 		}
 	}
 	return out, nil

@@ -2,9 +2,11 @@ package engine
 
 import (
 	"fmt"
+	"strings"
 
 	"rdfviews/internal/algebra"
 	"rdfviews/internal/cq"
+	"rdfviews/internal/dict"
 )
 
 // ViewResolver supplies the materialized extension of each view a plan scans.
@@ -24,57 +26,147 @@ func MapResolver(m map[algebra.ViewID]*Relation) ViewResolver {
 // Execute evaluates a rewriting plan over materialized views. This is the
 // query-answering path of the three-tier deployment scenario: workload
 // queries run against the recommended views only, with no access to the
-// triple store (Section 1).
+// triple store (Section 1). The logical plan is compiled to a pipeline of
+// streaming relational operators — view scans, filters, hash joins,
+// deduplicating projections and unions — and drained once; all structural
+// validation happens at compile time.
 func Execute(p algebra.Plan, resolve ViewResolver) (*Relation, error) {
+	root, err := compileRel(p, resolve)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(root.cols())
+	copyRows := !root.stableRows()
+	for {
+		row, ok := root.next()
+		if !ok {
+			break
+		}
+		if copyRows {
+			row = append(Row(nil), row...)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// rop is a streaming relational operator over materialized views. An
+// operator whose stableRows() is false reuses one output buffer across
+// next() calls; consumers must copy rows they retain.
+type rop interface {
+	cols() []cq.Term
+	next() (Row, bool)
+	stableRows() bool
+}
+
+func termIndex(cols []cq.Term, t cq.Term) int {
+	for i, c := range cols {
+		if c == t {
+			return i
+		}
+	}
+	return -1
+}
+
+func compileRel(p algebra.Plan, resolve ViewResolver) (rop, error) {
 	switch n := p.(type) {
 	case *algebra.Scan:
-		return execScan(n, resolve)
-	case *algebra.Select:
-		return execSelect(n, resolve)
-	case *algebra.Project:
-		in, err := Execute(n.Input, resolve)
+		base, err := resolve(n.View)
 		if err != nil {
 			return nil, err
 		}
-		return in.Project(n.Cols)
+		if len(n.Cols) != base.Arity() {
+			return nil, fmt.Errorf("engine: scan of v%d relabels %d columns, view has %d",
+				int(n.View), len(n.Cols), base.Arity())
+		}
+		return &relScanOp{view: n.View, base: base, labels: n.Cols, eq: repeatedLabelPairs(n.Cols)}, nil
+	case *algebra.Select:
+		in, err := compileRel(n.Input, resolve)
+		if err != nil {
+			return nil, err
+		}
+		tests, err := compileConds(in.cols(), n.Conds)
+		if err != nil {
+			return nil, err
+		}
+		return &filterOp{in: in, tests: tests}, nil
+	case *algebra.Project:
+		in, err := compileRel(n.Input, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return newProjectOp(in, n.Cols)
 	case *algebra.Join:
-		return execJoin(n, resolve)
+		left, err := compileRel(n.Left, resolve)
+		if err != nil {
+			return nil, err
+		}
+		right, err := compileRel(n.Right, resolve)
+		if err != nil {
+			return nil, err
+		}
+		shape, err := joinShape(left.cols(), right.cols(), n.Conds)
+		if err != nil {
+			return nil, err
+		}
+		lIdx := make([]int, len(shape.keys))
+		rIdx := make([]int, len(shape.keys))
+		for i, k := range shape.keys {
+			lIdx[i], rIdx[i] = k.li, k.ri
+		}
+		return &hashJoinRelOp{left: left, right: right, shape: shape, lIdx: lIdx, rIdx: rIdx}, nil
 	case *algebra.Union:
-		return execUnion(n, resolve)
+		if len(n.Branches) == 0 {
+			return nil, fmt.Errorf("engine: empty union")
+		}
+		branches := make([]rop, len(n.Branches))
+		for i, b := range n.Branches {
+			in, err := compileRel(b, resolve)
+			if err != nil {
+				return nil, err
+			}
+			if i > 0 && len(in.cols()) != len(branches[0].cols()) {
+				return nil, fmt.Errorf("engine: union arity mismatch: %d vs %d",
+					len(in.cols()), len(branches[0].cols()))
+			}
+			branches[i] = in
+		}
+		return &unionOp{branches: branches, seen: newRowSet(64)}, nil
 	default:
 		return nil, fmt.Errorf("engine: unknown plan node %T", p)
 	}
 }
 
-func execScan(n *algebra.Scan, resolve ViewResolver) (*Relation, error) {
-	base, err := resolve(n.View)
-	if err != nil {
-		return nil, err
-	}
-	if len(n.Cols) != base.Arity() {
-		return nil, fmt.Errorf("engine: scan of v%d relabels %d columns, view has %d",
-			int(n.View), len(n.Cols), base.Arity())
-	}
-	// Share rows; only relabel columns. A scan whose relabeling repeats a
-	// label (possible after fusion renamings) implies an equality filter.
-	out := &Relation{Cols: n.Cols, Rows: base.Rows}
-	if eq := repeatedLabelPairs(n.Cols); len(eq) > 0 {
-		filtered := NewRelation(n.Cols)
-		for _, row := range out.Rows {
-			ok := true
-			for _, pair := range eq {
-				if row[pair[0]] != row[pair[1]] {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				filtered.Rows = append(filtered.Rows, row)
+// relScanOp streams a materialized view's rows under the scan's relabeling. A
+// relabeling that repeats a label (possible after fusion renamings) implies
+// an equality filter; rows are shared with the base relation, not copied.
+type relScanOp struct {
+	view   algebra.ViewID
+	base   *Relation
+	labels []cq.Term
+	eq     [][2]int
+	i      int
+}
+
+func (s *relScanOp) cols() []cq.Term  { return s.labels }
+func (s *relScanOp) stableRows() bool { return true }
+
+func (s *relScanOp) next() (Row, bool) {
+	for s.i < len(s.base.Rows) {
+		row := s.base.Rows[s.i]
+		s.i++
+		ok := true
+		for _, pair := range s.eq {
+			if row[pair[0]] != row[pair[1]] {
+				ok = false
+				break
 			}
 		}
-		return filtered, nil
+		if ok {
+			return row, true
+		}
 	}
-	return out, nil
+	return nil, false
 }
 
 func repeatedLabelPairs(cols []cq.Term) [][2]int {
@@ -90,164 +182,364 @@ func repeatedLabelPairs(cols []cq.Term) [][2]int {
 	return out
 }
 
-func execSelect(n *algebra.Select, resolve ViewResolver) (*Relation, error) {
-	in, err := Execute(n.Input, resolve)
-	if err != nil {
-		return nil, err
-	}
-	type test struct {
-		li, ri int // column indexes; ri < 0 means constant comparison
-		c      Row // single-value constant when ri < 0
-	}
-	tests := make([]test, 0, len(n.Conds))
-	for _, c := range n.Conds {
-		li := in.ColIndex(c.Left)
+// condTest is a compiled equality condition: column li equals column ri, or
+// the constant c when ri < 0.
+type condTest struct {
+	li, ri int
+	c      dict.ID
+}
+
+func compileConds(cols []cq.Term, conds []algebra.Cond) ([]condTest, error) {
+	tests := make([]condTest, 0, len(conds))
+	for _, c := range conds {
+		li := termIndex(cols, c.Left)
 		if li < 0 {
-			return nil, fmt.Errorf("engine: selection column %v not in %v", c.Left, in.Cols)
+			return nil, fmt.Errorf("engine: selection column %v not in %v", c.Left, cols)
 		}
 		if c.Right.IsConst() {
-			tests = append(tests, test{li: li, ri: -1, c: Row{c.Right.ConstID()}})
+			tests = append(tests, condTest{li: li, ri: -1, c: c.Right.ConstID()})
 			continue
 		}
-		ri := in.ColIndex(c.Right)
+		ri := termIndex(cols, c.Right)
 		if ri < 0 {
-			return nil, fmt.Errorf("engine: selection column %v not in %v", c.Right, in.Cols)
+			return nil, fmt.Errorf("engine: selection column %v not in %v", c.Right, cols)
 		}
-		tests = append(tests, test{li: li, ri: ri})
+		tests = append(tests, condTest{li: li, ri: ri})
 	}
-	out := NewRelation(in.Cols)
-	for _, row := range in.Rows {
-		ok := true
-		for _, t := range tests {
+	return tests, nil
+}
+
+// filterOp applies equality conditions (σ) to its input stream.
+type filterOp struct {
+	in    rop
+	tests []condTest
+}
+
+func (f *filterOp) cols() []cq.Term  { return f.in.cols() }
+func (f *filterOp) stableRows() bool { return f.in.stableRows() }
+
+func (f *filterOp) next() (Row, bool) {
+	for {
+		row, ok := f.in.next()
+		if !ok {
+			return nil, false
+		}
+		pass := true
+		for _, t := range f.tests {
 			if t.ri < 0 {
-				if row[t.li] != t.c[0] {
-					ok = false
+				if row[t.li] != t.c {
+					pass = false
 					break
 				}
 			} else if row[t.li] != row[t.ri] {
-				ok = false
+				pass = false
 				break
 			}
 		}
-		if ok {
-			out.Rows = append(out.Rows, row)
+		if pass {
+			return row, true
 		}
 	}
-	return out, nil
 }
 
-func execJoin(n *algebra.Join, resolve ViewResolver) (*Relation, error) {
-	left, err := Execute(n.Left, resolve)
-	if err != nil {
-		return nil, err
+// projectOp restricts/reorders columns (π) and eliminates duplicates;
+// constant labels project as constant-valued columns.
+type projectOp struct {
+	in      rop
+	labels  []cq.Term
+	idx     []int // -1 for constant labels
+	scratch Row
+	seen    *rowSet
+}
+
+func newProjectOp(in rop, colLabels []cq.Term) (*projectOp, error) {
+	inCols := in.cols()
+	idx := make([]int, len(colLabels))
+	for i, c := range colLabels {
+		if c.IsConst() {
+			idx[i] = -1
+			continue
+		}
+		j := termIndex(inCols, c)
+		if j < 0 {
+			return nil, fmt.Errorf("engine: projection column %v not in %v", c, inCols)
+		}
+		idx[i] = j
 	}
-	right, err := Execute(n.Right, resolve)
-	if err != nil {
-		return nil, err
+	return &projectOp{
+		in:      in,
+		labels:  append([]cq.Term(nil), colLabels...),
+		idx:     idx,
+		scratch: make(Row, len(colLabels)),
+		seen:    newRowSet(64),
+	}, nil
+}
+
+func (p *projectOp) cols() []cq.Term  { return p.labels }
+func (p *projectOp) stableRows() bool { return true }
+
+func (p *projectOp) next() (Row, bool) {
+	for {
+		row, ok := p.in.next()
+		if !ok {
+			return nil, false
+		}
+		for i, j := range p.idx {
+			if j < 0 {
+				p.scratch[i] = p.labels[i].ConstID()
+			} else {
+				p.scratch[i] = row[j]
+			}
+		}
+		if kept, added := p.seen.addCopy(p.scratch); added {
+			return kept, true
+		}
 	}
+}
+
+// keyPair is one join key: left column li must equal right column ri.
+type keyPair struct{ li, ri int }
+
+// joinShapeInfo is the compiled shape of a natural-plus-conditions join:
+// join keys, output columns (all left columns, then the right columns whose
+// labels the left side does not already expose), and the kept right indexes.
+type joinShapeInfo struct {
+	keys      []keyPair
+	outCols   []cq.Term
+	rightKeep []int
+}
+
+func joinShape(leftCols, rightCols []cq.Term, conds []algebra.Cond) (joinShapeInfo, error) {
+	var sh joinShapeInfo
 	// Join keys: shared labels (natural join) plus explicit conditions.
-	type keyPair struct{ li, ri int }
-	var keys []keyPair
-	for li, c := range left.Cols {
+	for li, c := range leftCols {
 		if !c.IsVar() {
 			continue
 		}
-		if ri := right.ColIndex(c); ri >= 0 && left.ColIndex(c) == li {
-			keys = append(keys, keyPair{li, ri})
+		if ri := termIndex(rightCols, c); ri >= 0 && termIndex(leftCols, c) == li {
+			sh.keys = append(sh.keys, keyPair{li, ri})
 		}
 	}
-	for _, c := range n.Conds {
-		li := left.ColIndex(c.Left)
-		ri := right.ColIndex(c.Right)
+	for _, c := range conds {
+		li := termIndex(leftCols, c.Left)
+		ri := termIndex(rightCols, c.Right)
 		if li < 0 || ri < 0 {
-			return nil, fmt.Errorf("engine: join condition %v over %v ⋈ %v", c, left.Cols, right.Cols)
+			return sh, fmt.Errorf("engine: join condition %v over %v ⋈ %v", c, leftCols, rightCols)
 		}
-		keys = append(keys, keyPair{li, ri})
+		sh.keys = append(sh.keys, keyPair{li, ri})
 	}
-	// Output columns: all left columns, then right columns whose labels are
-	// not already exposed by the left side.
-	outCols := append([]cq.Term(nil), left.Cols...)
-	var rightKeep []int
-	for ri, c := range right.Cols {
-		if c.IsVar() && left.ColIndex(c) >= 0 {
+	sh.outCols = append([]cq.Term(nil), leftCols...)
+	for ri, c := range rightCols {
+		if c.IsVar() && termIndex(leftCols, c) >= 0 {
 			continue
 		}
-		rightKeep = append(rightKeep, ri)
-		outCols = append(outCols, c)
+		sh.rightKeep = append(sh.rightKeep, ri)
+		sh.outCols = append(sh.outCols, c)
 	}
-	out := NewRelation(outCols)
-
-	// Hash join: build on the smaller input.
-	buildRight := right.Len() <= left.Len()
-	hash := make(map[string][]Row)
-	makeKey := func(row Row, idx []int) string {
-		k := make(Row, len(idx))
-		for i, j := range idx {
-			k[i] = row[j]
-		}
-		return rowKey(k)
-	}
-	lIdx := make([]int, len(keys))
-	rIdx := make([]int, len(keys))
-	for i, kp := range keys {
-		lIdx[i], rIdx[i] = kp.li, kp.ri
-	}
-	emit := func(lrow, rrow Row) {
-		nr := make(Row, 0, len(outCols))
-		nr = append(nr, lrow...)
-		for _, ri := range rightKeep {
-			nr = append(nr, rrow[ri])
-		}
-		out.Rows = append(out.Rows, nr)
-	}
-	if buildRight {
-		for _, r := range right.Rows {
-			k := makeKey(r, rIdx)
-			hash[k] = append(hash[k], r)
-		}
-		for _, l := range left.Rows {
-			for _, r := range hash[makeKey(l, lIdx)] {
-				emit(l, r)
-			}
-		}
-	} else {
-		for _, l := range left.Rows {
-			k := makeKey(l, lIdx)
-			hash[k] = append(hash[k], l)
-		}
-		for _, r := range right.Rows {
-			for _, l := range hash[makeKey(r, rIdx)] {
-				emit(l, r)
-			}
-		}
-	}
-	return out, nil
+	return sh, nil
 }
 
-func execUnion(n *algebra.Union, resolve ViewResolver) (*Relation, error) {
-	if len(n.Branches) == 0 {
-		return nil, fmt.Errorf("engine: empty union")
+// hashJoinRelOp hash-joins two streams: the right input is drained into an
+// idTable keyed by a 64-bit key hash with chained row indexes (verified by
+// value), the left input streams through as the probe side — the same chain
+// scheme hashJoinOp uses over the store.
+type hashJoinRelOp struct {
+	left, right rop
+	shape       joinShapeInfo
+	lIdx, rIdx  []int // key column indexes, precomputed from shape.keys
+
+	built    bool
+	table    *idTable // key hash -> chain head, as build row index + 1
+	brows    []Row    // build-side rows (copied: they may share a buffer)
+	chains   []int32  // collision chain, same encoding as table
+	lrow     Row
+	chain    int32
+	emitting bool
+	out      Row
+}
+
+func (j *hashJoinRelOp) cols() []cq.Term  { return j.shape.outCols }
+func (j *hashJoinRelOp) stableRows() bool { return false }
+
+func (j *hashJoinRelOp) build() {
+	j.table = newIDTable(64)
+	var arena rowArena
+	for {
+		row, ok := j.right.next()
+		if !ok {
+			break
+		}
+		h := hashValues(row, j.rIdx)
+		j.brows = append(j.brows, arena.copyRow(row))
+		j.chains = append(j.chains, j.table.get(h))
+		j.table.put(h, int32(len(j.brows)))
 	}
-	var out *Relation
-	seen := make(map[string]struct{})
-	for _, b := range n.Branches {
-		r, err := Execute(b, resolve)
-		if err != nil {
-			return nil, err
-		}
-		if out == nil {
-			out = NewRelation(r.Cols)
-		} else if r.Arity() != out.Arity() {
-			return nil, fmt.Errorf("engine: union arity mismatch: %d vs %d", r.Arity(), out.Arity())
-		}
-		for _, row := range r.Rows {
-			k := rowKey(row)
-			if _, ok := seen[k]; ok {
-				continue
+	j.out = make(Row, len(j.shape.outCols))
+	j.built = true
+}
+
+func (j *hashJoinRelOp) next() (Row, bool) {
+	if !j.built {
+		j.build()
+	}
+	for {
+		if j.emitting {
+			for j.chain != 0 {
+				r := j.brows[j.chain-1]
+				j.chain = j.chains[j.chain-1]
+				match := true
+				for _, k := range j.shape.keys {
+					if j.lrow[k.li] != r[k.ri] {
+						match = false
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+				copy(j.out, j.lrow)
+				for i, ri := range j.shape.rightKeep {
+					j.out[len(j.lrow)+i] = r[ri]
+				}
+				return j.out, true
 			}
-			seen[k] = struct{}{}
-			out.Rows = append(out.Rows, row)
+			j.emitting = false
+		}
+		lrow, ok := j.left.next()
+		if !ok {
+			return nil, false
+		}
+		chain := j.table.get(hashValues(lrow, j.lIdx))
+		if chain == 0 {
+			continue
+		}
+		j.lrow = lrow
+		j.chain = chain
+		j.emitting = true
+	}
+}
+
+// unionOp streams the set union of its branches (∪), deduplicating across
+// branches; columns are aligned positionally and labeled by the first branch.
+type unionOp struct {
+	branches []rop
+	bi       int
+	seen     *rowSet
+}
+
+func (u *unionOp) cols() []cq.Term  { return u.branches[0].cols() }
+func (u *unionOp) stableRows() bool { return true }
+
+func (u *unionOp) next() (Row, bool) {
+	for u.bi < len(u.branches) {
+		row, ok := u.branches[u.bi].next()
+		if !ok {
+			u.bi++
+			continue
+		}
+		if kept, added := u.seen.addCopy(row); added {
+			return kept, true
 		}
 	}
-	return out, nil
+	return nil, false
+}
+
+// DescribePlan compiles a rewriting plan's physical shape without touching
+// view extents: the same operator choices Execute makes, with per-scan
+// cardinalities supplied by card (may be nil). It is the explain surface for
+// rewritings, mirroring QueryPlan.Describe for store-level queries.
+func DescribePlan(p algebra.Plan, card func(algebra.ViewID) float64) (*algebra.PhysNode, error) {
+	_, node, err := describeRel(p, card)
+	return node, err
+}
+
+func describeRel(p algebra.Plan, card func(algebra.ViewID) float64) ([]cq.Term, *algebra.PhysNode, error) {
+	switch n := p.(type) {
+	case *algebra.Scan:
+		est := 0.0
+		if card != nil {
+			est = card(n.View)
+		}
+		labels := make([]string, len(n.Cols))
+		for i, c := range n.Cols {
+			labels[i] = c.String()
+		}
+		detail := fmt.Sprintf("v%d[%s]", int(n.View), strings.Join(labels, ","))
+		if eq := repeatedLabelPairs(n.Cols); len(eq) > 0 {
+			detail += fmt.Sprintf(" +%d equality filters", len(eq))
+		}
+		return n.Cols, algebra.NewPhysNode("ViewScan", detail, est), nil
+	case *algebra.Select:
+		cols, child, err := describeRel(n.Input, card)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := compileConds(cols, n.Conds); err != nil {
+			return nil, nil, err
+		}
+		parts := make([]string, len(n.Conds))
+		for i, c := range n.Conds {
+			parts[i] = c.String()
+		}
+		return cols, algebra.NewPhysNode("Filter", "["+strings.Join(parts, "&")+"]", 0, child), nil
+	case *algebra.Project:
+		cols, child, err := describeRel(n.Input, card)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, c := range n.Cols {
+			if c.IsVar() && termIndex(cols, c) < 0 {
+				return nil, nil, fmt.Errorf("engine: projection column %v not in %v", c, cols)
+			}
+		}
+		labels := make([]string, len(n.Cols))
+		for i, c := range n.Cols {
+			labels[i] = c.String()
+		}
+		return n.Cols, algebra.NewPhysNode("Project",
+			"["+strings.Join(labels, ",")+"] distinct", 0, child), nil
+	case *algebra.Join:
+		lcols, lnode, err := describeRel(n.Left, card)
+		if err != nil {
+			return nil, nil, err
+		}
+		rcols, rnode, err := describeRel(n.Right, card)
+		if err != nil {
+			return nil, nil, err
+		}
+		sh, err := joinShape(lcols, rcols, n.Conds)
+		if err != nil {
+			return nil, nil, err
+		}
+		parts := make([]string, len(sh.keys))
+		for i, k := range sh.keys {
+			parts[i] = fmt.Sprintf("%s=%s", lcols[k.li], rcols[k.ri])
+		}
+		op, detail := "HashJoin", "["+strings.Join(parts, "&")+"] build=right"
+		if len(sh.keys) == 0 {
+			op, detail = "CrossProduct", ""
+		}
+		return sh.outCols, algebra.NewPhysNode(op, detail, 0, lnode, rnode), nil
+	case *algebra.Union:
+		if len(n.Branches) == 0 {
+			return nil, nil, fmt.Errorf("engine: empty union")
+		}
+		var cols []cq.Term
+		children := make([]*algebra.PhysNode, len(n.Branches))
+		for i, b := range n.Branches {
+			bcols, bnode, err := describeRel(b, card)
+			if err != nil {
+				return nil, nil, err
+			}
+			if i == 0 {
+				cols = bcols
+			} else if len(bcols) != len(cols) {
+				return nil, nil, fmt.Errorf("engine: union arity mismatch: %d vs %d", len(bcols), len(cols))
+			}
+			children[i] = bnode
+		}
+		return cols, algebra.NewPhysNode("Union", "distinct", 0, children...), nil
+	default:
+		return nil, nil, fmt.Errorf("engine: unknown plan node %T", p)
+	}
 }

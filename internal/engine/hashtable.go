@@ -1,0 +1,90 @@
+package engine
+
+// idTable is a flat open-addressing hash table from a 64-bit key hash to an
+// int32 chain head, used by the distinct sets and hash joins. Callers pass
+// hashes they already computed (hashRow, hashValues, hashIDs) and resolve
+// collisions by value comparison, so the table can probe linearly on raw
+// uint64 keys with no re-hashing — measurably faster than a Go map on the
+// executor's hot path, where the map's own hashing and bucket bookkeeping
+// dominated the profile.
+//
+// A key of 0 marks an empty slot; genuine zero hashes are remapped (harmless:
+// users verify matches by value, so shared chains only cost a comparison).
+type idTable struct {
+	keys []uint64
+	vals []int32
+	mask uint64
+	used int
+}
+
+func newIDTable(sizeHint int) *idTable {
+	size := 16
+	for size*3 < sizeHint*4 { // initial load factor ≤ 3/4
+		size <<= 1
+	}
+	return &idTable{
+		keys: make([]uint64, size),
+		vals: make([]int32, size),
+		mask: uint64(size - 1),
+	}
+}
+
+func remapZero(h uint64) uint64 {
+	if h == 0 {
+		return 0x9e3779b97f4a7c15
+	}
+	return h
+}
+
+// get returns the value stored for the hash, or 0 when absent.
+func (t *idTable) get(h uint64) int32 {
+	h = remapZero(h)
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
+		case h:
+			return t.vals[i]
+		case 0:
+			return 0
+		}
+	}
+}
+
+// put stores the value for the hash, inserting or overwriting.
+func (t *idTable) put(h uint64, v int32) {
+	h = remapZero(h)
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
+		case h:
+			t.vals[i] = v
+			return
+		case 0:
+			t.keys[i] = h
+			t.vals[i] = v
+			t.used++
+			if t.used*4 > len(t.keys)*3 {
+				t.grow()
+			}
+			return
+		}
+	}
+}
+
+func (t *idTable) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	size := len(oldKeys) * 2
+	t.keys = make([]uint64, size)
+	t.vals = make([]int32, size)
+	t.mask = uint64(size - 1)
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		for j := k & t.mask; ; j = (j + 1) & t.mask {
+			if t.keys[j] == 0 {
+				t.keys[j] = k
+				t.vals[j] = oldVals[i]
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"rdfviews/internal/cq"
+	"rdfviews/internal/dict"
+	"rdfviews/internal/store"
+)
+
+// evalQueryINL is the original recursive index-nested-loop evaluator: atoms
+// are ordered greedily (most selective first, preferring atoms bound to
+// already-placed variables) and each atom is resolved through the store's
+// permutation indexes under the current partial binding held in a map.
+//
+// It is superseded by the planned streaming pipeline (planner.go,
+// operators.go) but kept as a correctness oracle for property tests and as
+// the baseline of the old-vs-new benchmarks in bench_test.go.
+func evalQueryINL(st *store.Store, q *cq.Query) (*Relation, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	order := orderAtoms(q, storeCards{st})
+	out := NewRelation(q.Head)
+	seen := newRowSet(16)
+	bind := make(map[cq.Term]dict.ID)
+
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(order) {
+			row := make(Row, len(q.Head))
+			for i, h := range q.Head {
+				if h.IsConst() {
+					row[i] = h.ConstID()
+				} else {
+					row[i] = bind[h]
+				}
+			}
+			if seen.add(row) {
+				out.Rows = append(out.Rows, row)
+			}
+			return
+		}
+		a := q.Atoms[order[k]]
+		var pat store.Pattern
+		for p := 0; p < 3; p++ {
+			switch {
+			case a[p].IsConst():
+				pat[p] = a[p].ConstID()
+			default:
+				if v, ok := bind[a[p]]; ok {
+					pat[p] = v
+				} else {
+					pat[p] = store.Wildcard
+				}
+			}
+		}
+		st.Scan(pat, func(t store.Triple) bool {
+			var added []cq.Term
+			ok := true
+			for p := 0; p < 3 && ok; p++ {
+				term := a[p]
+				if term.IsConst() {
+					continue
+				}
+				if v, bound := bind[term]; bound {
+					if v != t[p] {
+						ok = false
+					}
+					continue
+				}
+				bind[term] = t[p]
+				added = append(added, term)
+			}
+			if ok {
+				rec(k + 1)
+			}
+			for _, v := range added {
+				delete(bind, v)
+			}
+			return true
+		})
+	}
+	rec(0)
+	return out, nil
+}

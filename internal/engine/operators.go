@@ -1,0 +1,267 @@
+package engine
+
+import (
+	"rdfviews/internal/cq"
+	"rdfviews/internal/dict"
+	"rdfviews/internal/store"
+)
+
+// The streaming executor: pull-based physical operators over the triple
+// store's permutation indexes. Tuples flow through slice-based variable
+// registers — a Row of width len(plan variables), indexed by the planner's
+// compact variable numbering — so the hot path touches no maps and hashes no
+// strings. Every operator's next() returns a row that is valid only until the
+// following next() call; consumers that retain rows must copy them.
+//
+// Operator set (chosen by the planner in planner.go):
+//
+//   - scanOp: an index scan of one permutation range, binding triple
+//     positions into registers;
+//   - mergeJoinOp: joins a pipeline sorted on one register slot with an atom
+//     cursor sorted on the matching triple position, buffering one equal-key
+//     run of the right side at a time;
+//   - hashJoinOp: builds a hash table over the atom's matching triples
+//     (bucketed by a 64-bit key hash, verified by value) and probes it with
+//     the streaming left pipeline; with no key columns it degrades to the
+//     Cartesian product a disconnected query requires.
+//
+// Projection and duplicate elimination happen at the drain site (QueryPlan
+// run) against a rowSet, so no operator materializes its output.
+
+// op is a pull-based operator yielding register rows.
+type op interface {
+	// next returns the next row; the row is valid until the next call.
+	next() (Row, bool)
+}
+
+// bindPos maps a triple position to the register slot it binds.
+type bindPos struct {
+	pos  int // 0..2: position in the scanned triple
+	slot int // register slot of the variable at that position
+}
+
+// atomSpec is the compiled access path of one body atom: the pattern of its
+// constants, the permutation to scan, and how matching triples bind into
+// registers.
+type atomSpec struct {
+	atom   cq.Atom // retained for explain only; see planner.go
+	pat    store.Pattern
+	perm   store.Perm
+	binds  []bindPos // first occurrence of each variable
+	checks [][2]int  // positions that must be equal (repeated variables)
+}
+
+// bindInto writes the triple's variable bindings into the row, reporting
+// false when a repeated-variable equality fails.
+func (a *atomSpec) bindInto(row Row, t store.Triple) bool {
+	for _, c := range a.checks {
+		if t[c[0]] != t[c[1]] {
+			return false
+		}
+	}
+	for _, b := range a.binds {
+		row[b.slot] = t[b.pos]
+	}
+	return true
+}
+
+// scanOp streams one permutation range, binding each matching triple into a
+// fresh register row.
+type scanOp struct {
+	st      *store.Store
+	spec    *atomSpec
+	width   int
+	started bool
+	cur     store.Cursor
+	out     Row
+}
+
+func (s *scanOp) next() (Row, bool) {
+	if !s.started {
+		s.started = true
+		s.cur = s.st.NewCursor(s.spec.perm, s.spec.pat)
+		s.out = make(Row, s.width)
+	}
+	for {
+		t, ok := s.cur.Next()
+		if !ok {
+			return nil, false
+		}
+		if s.spec.bindInto(s.out, t) {
+			return s.out, true
+		}
+	}
+}
+
+// mergeJoinOp merge-joins a left pipeline sorted on register slot `slot` with
+// the atom's cursor sorted on triple position `rpos` (the planner picks a
+// permutation that lists the atom's constants, then rpos). One equal-key run
+// of right triples is buffered at a time, so duplicate keys on either side
+// produce the full cross-combination.
+type mergeJoinOp struct {
+	left  op
+	st    *store.Store
+	spec  *atomSpec
+	slot  int // join variable's register slot (left side, sorted)
+	rpos  int // join variable's triple position (right side, sorted)
+	width int
+
+	started  bool
+	cur      store.Cursor
+	curT     store.Triple
+	curOK    bool
+	group    []store.Triple
+	groupKey dict.ID
+	haveGrp  bool
+	emitting bool
+	gi       int
+	out      Row
+}
+
+func (m *mergeJoinOp) next() (Row, bool) {
+	if !m.started {
+		m.started = true
+		m.cur = m.st.NewCursor(m.spec.perm, m.spec.pat)
+		m.curT, m.curOK = m.cur.Next()
+		m.out = make(Row, m.width)
+	}
+	for {
+		if m.emitting {
+			for m.gi < len(m.group) {
+				t := m.group[m.gi]
+				m.gi++
+				if m.spec.bindInto(m.out, t) {
+					return m.out, true
+				}
+			}
+			m.emitting = false
+		}
+		lrow, ok := m.left.next()
+		if !ok {
+			return nil, false
+		}
+		key := lrow[m.slot]
+		if !m.haveGrp || key != m.groupKey {
+			// Left keys are non-decreasing, so the right cursor only ever
+			// moves forward.
+			for m.curOK && m.curT[m.rpos] < key {
+				m.curT, m.curOK = m.cur.Next()
+			}
+			m.group = m.group[:0]
+			for m.curOK && m.curT[m.rpos] == key {
+				m.group = append(m.group, m.curT)
+				m.curT, m.curOK = m.cur.Next()
+			}
+			m.groupKey, m.haveGrp = key, true
+		}
+		if len(m.group) == 0 {
+			continue
+		}
+		copy(m.out, lrow)
+		m.gi = 0
+		m.emitting = true
+	}
+}
+
+// hashJoinOp builds a hash table over the atom's matching triples keyed by
+// the shared variables' positions, then probes it with the streaming left
+// pipeline. The table maps a 64-bit key hash to a chain of triple indexes
+// (verified by value), so building allocates no per-bucket slices. With no
+// key columns (a disconnected query) every triple lands in one chain and the
+// operator computes the Cartesian product.
+type hashJoinOp struct {
+	left     op
+	st       *store.Store
+	spec     *atomSpec
+	keySlots []int // probe: register slots of the shared variables
+	keyPos   []int // build: triple positions of the shared variables
+	width    int
+
+	built    bool
+	table    *idTable       // key hash -> chain head, as triple index + 1
+	tris     []store.Triple // build-side triples passing the atom's checks
+	chains   []int32        // collision chain, same encoding as table
+	lrow     Row
+	chain    int32
+	emitting bool
+	out      Row
+}
+
+// hashIDs hashes the triple values at the given positions, consistently with
+// hashValues so build and probe sides agree.
+func hashIDs(t store.Triple, pos []int) uint64 {
+	h := hashSeed
+	for _, p := range pos {
+		h = hashMix(h, uint64(t[p]))
+	}
+	return h
+}
+
+func (j *hashJoinOp) build() {
+	cur := j.st.NewCursor(j.spec.perm, j.spec.pat)
+	n := cur.Remaining()
+	j.table = newIDTable(n)
+	j.tris = make([]store.Triple, 0, n)
+	j.chains = make([]int32, 0, n)
+	for {
+		t, ok := cur.Next()
+		if !ok {
+			break
+		}
+		keep := true
+		for _, c := range j.spec.checks {
+			if t[c[0]] != t[c[1]] {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			h := hashIDs(t, j.keyPos)
+			j.tris = append(j.tris, t)
+			j.chains = append(j.chains, j.table.get(h))
+			j.table.put(h, int32(len(j.tris)))
+		}
+	}
+	j.out = make(Row, j.width)
+	j.built = true
+}
+
+func (j *hashJoinOp) next() (Row, bool) {
+	if !j.built {
+		j.build()
+	}
+	for {
+		if j.emitting {
+			for j.chain != 0 {
+				t := j.tris[j.chain-1]
+				j.chain = j.chains[j.chain-1]
+				match := true
+				for i, p := range j.keyPos {
+					if t[p] != j.lrow[j.keySlots[i]] {
+						match = false
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+				if j.spec.bindInto(j.out, t) {
+					return j.out, true
+				}
+			}
+			j.emitting = false
+		}
+		lrow, ok := j.left.next()
+		if !ok {
+			return nil, false
+		}
+		chain := j.table.get(hashValues(lrow, j.keySlots))
+		if chain == 0 {
+			continue
+		}
+		copy(j.out, lrow)
+		j.lrow = lrow
+		j.chain = chain
+		j.emitting = true
+	}
+}

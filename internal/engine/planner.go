@@ -1,0 +1,414 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"rdfviews/internal/algebra"
+	"rdfviews/internal/cost"
+	"rdfviews/internal/cq"
+	"rdfviews/internal/dict"
+	"rdfviews/internal/store"
+)
+
+// Cards supplies atom cardinality estimates for join ordering and physical
+// operator selection. cost.Stats — and thus the statistics providers of the
+// view-selection search — satisfies it, so the planner consumes the same
+// cardinality lookups the cost model does.
+type Cards interface {
+	AtomCount(a cq.Atom) float64
+}
+
+var _ Cards = (cost.Stats)(nil)
+
+// storeCards answers exact counts from the store's permutation indexes.
+type storeCards struct{ st *store.Store }
+
+func (c storeCards) AtomCount(a cq.Atom) float64 {
+	var pat store.Pattern
+	for i := 0; i < 3; i++ {
+		if a[i].IsConst() {
+			pat[i] = a[i].ConstID()
+		}
+	}
+	return float64(c.st.Count(pat))
+}
+
+// stepKind is the physical join operator of one pipeline step.
+type stepKind int
+
+const (
+	stepScan stepKind = iota
+	stepMergeJoin
+	stepHashJoin
+	stepCross
+)
+
+// planStep is one compiled step of the left-deep pipeline: the first step is
+// an index scan, every later step joins the pipeline with one more atom.
+type planStep struct {
+	kind     stepKind
+	spec     *atomSpec
+	joinSlot int   // merge join: the sorted register slot joined on
+	rpos     int   // merge join: the right triple position joined on
+	keySlots []int // hash join: register slots of the shared variables
+	keyPos   []int // hash join: matching triple positions
+	est      float64
+}
+
+// QueryPlan is a compiled physical plan for one conjunctive query: a
+// left-deep pipeline of index scans and joins over the store's six sorted
+// permutations, followed by projection onto the head and — when the head
+// drops body variables — duplicate elimination. Build with PlanQuery, run
+// with Eval, render with Explain.
+type QueryPlan struct {
+	st         *store.Store
+	steps      []planStep
+	width      int       // register file width: number of distinct body vars
+	slotTerms  []cq.Term // slot -> variable, the compact numbering
+	head       []cq.Term
+	headSlots  []int     // per head position: register slot, or -1 for consts
+	headConsts []dict.ID // per head position: constant ID when headSlots < 0
+	distinct   bool      // false when the head exposes every body variable
+}
+
+// PlanQuery compiles the query using exact store counts for join ordering.
+func PlanQuery(st *store.Store, q *cq.Query) (*QueryPlan, error) {
+	return PlanQueryWithStats(st, q, storeCards{st})
+}
+
+// PlanQueryWithStats compiles the query, ordering joins by the provider's
+// cardinalities (greedy: most selective first, preferring atoms connected to
+// the variables already bound).
+func PlanQueryWithStats(st *store.Store, q *cq.Query, cards Cards) (*QueryPlan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	order := orderAtoms(q, cards)
+
+	// Compact variable numbering, in pipeline binding order.
+	slotOf := make(map[cq.Term]int)
+	var slotTerms []cq.Term
+	for _, ai := range order {
+		for _, t := range q.Atoms[ai] {
+			if t.IsVar() {
+				if _, ok := slotOf[t]; !ok {
+					slotOf[t] = len(slotTerms)
+					slotTerms = append(slotTerms, t)
+				}
+			}
+		}
+	}
+	p := &QueryPlan{
+		st:        st,
+		width:     len(slotTerms),
+		slotTerms: slotTerms,
+		head:      append([]cq.Term(nil), q.Head...),
+	}
+
+	bound := make([]bool, p.width)
+	sorted := -1 // register slot the pipeline is currently sorted on
+	for k, ai := range order {
+		a := q.Atoms[ai]
+		spec := makeAtomSpec(a, slotOf)
+		est := cards.AtomCount(a)
+
+		// Shared variables: distinct register slots of a's already-bound
+		// variables, with the first triple position holding each.
+		var shared, sharedPos []int
+		for pos := 0; pos < 3; pos++ {
+			t := a[pos]
+			if !t.IsVar() {
+				continue
+			}
+			s := slotOf[t]
+			if bound[s] && !containsInt(shared, s) {
+				shared = append(shared, s)
+				sharedPos = append(sharedPos, pos)
+			}
+		}
+
+		step := planStep{spec: spec, est: est}
+		consts := constPositions(a)
+		switch {
+		case k == 0:
+			step.kind = stepScan
+			then := chooseSortPosition(q, order, slotOf)
+			spec.perm, _ = store.PermFor(consts, then)
+			if then >= 0 {
+				sorted = slotOf[a[then]]
+			}
+		case len(shared) == 1 && shared[0] == sorted:
+			step.kind = stepMergeJoin
+			step.joinSlot = shared[0]
+			step.rpos = sharedPos[0]
+			spec.perm, _ = store.PermFor(consts, step.rpos)
+		case len(shared) > 0:
+			step.kind = stepHashJoin
+			step.keySlots = shared
+			step.keyPos = sharedPos
+			spec.perm, _ = store.PermFor(consts, -1)
+		default:
+			step.kind = stepCross
+			spec.perm, _ = store.PermFor(consts, -1)
+		}
+		p.steps = append(p.steps, step)
+		for _, t := range a {
+			if t.IsVar() {
+				bound[slotOf[t]] = true
+			}
+		}
+	}
+
+	// Head projection: slots for variables, IDs for constants. Distinct is
+	// needed only when the head drops a body variable — when every body
+	// variable is exposed, assignments map bijectively to head tuples and the
+	// pipeline already emits each assignment once.
+	p.headSlots = make([]int, len(p.head))
+	p.headConsts = make([]dict.ID, len(p.head))
+	headVars := make(map[cq.Term]bool, len(p.head))
+	for i, h := range p.head {
+		if h.IsConst() {
+			p.headSlots[i] = -1
+			p.headConsts[i] = h.ConstID()
+			continue
+		}
+		p.headSlots[i] = slotOf[h]
+		headVars[h] = true
+	}
+	for _, t := range slotTerms {
+		if !headVars[t] {
+			p.distinct = true
+			break
+		}
+	}
+	return p, nil
+}
+
+// makeAtomSpec compiles one atom's access path: constant pattern, variable
+// bindings (first occurrence of each variable) and repeated-variable checks.
+// The permutation is chosen by the caller per the atom's role.
+func makeAtomSpec(a cq.Atom, slotOf map[cq.Term]int) *atomSpec {
+	spec := &atomSpec{atom: a}
+	firstPos := make(map[cq.Term]int, 3)
+	for pos := 0; pos < 3; pos++ {
+		t := a[pos]
+		if t.IsConst() {
+			spec.pat[pos] = t.ConstID()
+			continue
+		}
+		if fp, ok := firstPos[t]; ok {
+			spec.checks = append(spec.checks, [2]int{fp, pos})
+			continue
+		}
+		firstPos[t] = pos
+		spec.binds = append(spec.binds, bindPos{pos: pos, slot: slotOf[t]})
+	}
+	return spec
+}
+
+// chooseSortPosition picks the triple position the first scan should sort on:
+// the variable the second atom could merge-join on (when the two atoms share
+// exactly one), else any variable occurring in a later atom, else the first
+// variable position; -1 for an all-constant atom.
+func chooseSortPosition(q *cq.Query, order []int, slotOf map[cq.Term]int) int {
+	a0 := q.Atoms[order[0]]
+	if len(order) > 1 {
+		a1 := q.Atoms[order[1]]
+		var sharedVars []cq.Term
+		for _, t := range a0.Vars() {
+			if a1.HasVar(t) {
+				sharedVars = append(sharedVars, t)
+			}
+		}
+		if len(sharedVars) == 1 {
+			for pos := 0; pos < 3; pos++ {
+				if a0[pos] == sharedVars[0] {
+					return pos
+				}
+			}
+		}
+	}
+	later := func(t cq.Term) bool {
+		for _, ai := range order[1:] {
+			if q.Atoms[ai].HasVar(t) {
+				return true
+			}
+		}
+		return false
+	}
+	fallback := -1
+	for pos := 0; pos < 3; pos++ {
+		if !a0[pos].IsVar() {
+			continue
+		}
+		if fallback < 0 {
+			fallback = pos
+		}
+		if later(a0[pos]) {
+			return pos
+		}
+	}
+	return fallback
+}
+
+func constPositions(a cq.Atom) []int {
+	var out []int
+	for pos := 0; pos < 3; pos++ {
+		if a[pos].IsConst() {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// orderAtoms orders the body greedily by the provider's cardinalities: start
+// from the atom with the smallest estimate; repeatedly append the connected
+// atom (sharing a bound variable) with the smallest estimate, falling back to
+// the globally smallest when none connects.
+func orderAtoms(q *cq.Query, cards Cards) []int {
+	n := len(q.Atoms)
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := make(map[cq.Term]struct{})
+	counts := make([]float64, n)
+	for i := range counts {
+		counts[i] = cards.AtomCount(q.Atoms[i])
+	}
+	connected := func(i int) bool {
+		for _, t := range q.Atoms[i] {
+			if t.IsVar() {
+				if _, ok := bound[t]; ok {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for len(order) < n {
+		best, bestCount, bestConn := -1, 0.0, false
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			c, conn := counts[i], connected(i)
+			if best == -1 || (conn && !bestConn) || (conn == bestConn && c < bestCount) {
+				best, bestCount, bestConn = i, c, conn
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, t := range q.Atoms[best] {
+			if t.IsVar() {
+				bound[t] = struct{}{}
+			}
+		}
+	}
+	return order
+}
+
+// buildOps instantiates the operator pipeline. Operators are single-use:
+// each Eval call builds a fresh pipeline.
+func (p *QueryPlan) buildOps() op {
+	var cur op
+	for i := range p.steps {
+		s := &p.steps[i]
+		switch s.kind {
+		case stepScan:
+			cur = &scanOp{st: p.st, spec: s.spec, width: p.width}
+		case stepMergeJoin:
+			cur = &mergeJoinOp{left: cur, st: p.st, spec: s.spec, slot: s.joinSlot, rpos: s.rpos, width: p.width}
+		default: // stepHashJoin, stepCross (a hash join with no key columns)
+			cur = &hashJoinOp{left: cur, st: p.st, spec: s.spec, keySlots: s.keySlots, keyPos: s.keyPos, width: p.width}
+		}
+	}
+	return cur
+}
+
+// Eval runs the pipeline and returns the distinct head tuples — the same
+// observable contract as the evaluator this engine replaced.
+func (p *QueryPlan) Eval() (*Relation, error) {
+	root := p.buildOps()
+	out := NewRelation(p.head)
+	scratch := make(Row, len(p.head))
+	var arena rowArena
+	var seen *rowSet
+	if p.distinct {
+		// Size the distinct set from the driving scan's cardinality: the
+		// greedy order starts at the most selective atom, so this is a cheap
+		// lower-bound hint that avoids most rehashing on large outputs.
+		hint := 64
+		if len(p.steps) > 0 && p.steps[0].est > float64(hint) && p.steps[0].est < 1<<20 {
+			hint = int(p.steps[0].est)
+		}
+		seen = newRowSet(hint)
+	}
+	for {
+		row, ok := root.next()
+		if !ok {
+			break
+		}
+		for i, s := range p.headSlots {
+			if s < 0 {
+				scratch[i] = p.headConsts[i]
+			} else {
+				scratch[i] = row[s]
+			}
+		}
+		if seen == nil {
+			out.Rows = append(out.Rows, arena.copyRow(scratch))
+		} else if kept, added := seen.addCopy(scratch); added {
+			out.Rows = append(out.Rows, kept)
+		}
+	}
+	return out, nil
+}
+
+// Describe returns the physical plan tree for explain surfaces.
+func (p *QueryPlan) Describe() *algebra.PhysNode {
+	var node *algebra.PhysNode
+	for _, s := range p.steps {
+		a := s.spec.atom
+		scan := algebra.NewPhysNode("IndexScan",
+			fmt.Sprintf("t(%s, %s, %s) perm=%s prefix=%d",
+				a[0], a[1], a[2], s.spec.perm, len(constPositions(a))),
+			s.est)
+		switch s.kind {
+		case stepScan:
+			node = scan
+		case stepMergeJoin:
+			node = algebra.NewPhysNode("MergeJoin",
+				fmt.Sprintf("[%s]", p.slotTerms[s.joinSlot]), 0, node, scan)
+		case stepHashJoin:
+			names := make([]string, len(s.keySlots))
+			for i, sl := range s.keySlots {
+				names[i] = p.slotTerms[sl].String()
+			}
+			node = algebra.NewPhysNode("HashJoin",
+				fmt.Sprintf("[%s] build=right", strings.Join(names, ",")), 0, node, scan)
+		case stepCross:
+			node = algebra.NewPhysNode("CrossProduct", "", 0, node, scan)
+		}
+	}
+	names := make([]string, len(p.head))
+	for i, h := range p.head {
+		names[i] = h.String()
+	}
+	node = algebra.NewPhysNode("Project", "["+strings.Join(names, ",")+"]", 0, node)
+	if p.distinct {
+		node = algebra.NewPhysNode("Distinct", "", 0, node)
+	}
+	return node
+}
+
+// Explain renders the physical plan as an indented operator tree.
+func (p *QueryPlan) Explain() string { return p.Describe().String() }

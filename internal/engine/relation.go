@@ -7,7 +7,6 @@
 package engine
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -47,26 +46,138 @@ func (r *Relation) ColIndex(label cq.Term) int {
 	return -1
 }
 
-// rowKey serializes a row for set-semantics deduplication.
-func rowKey(row Row) string {
-	buf := make([]byte, 8*len(row))
-	for i, v := range row {
-		binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+// rowSet is a set of rows for set-semantics deduplication. Rows are keyed by
+// a 64-bit hash; collisions chain through a flat index array and are
+// resolved by value comparison. Membership tests allocate nothing — unlike
+// the string keys this replaced, which allocated one 8·arity-byte string per
+// candidate row — and insertion costs one map entry plus two amortized
+// appends.
+type rowSet struct {
+	index *idTable // hash -> head of chain, as row index + 1
+	rows  []Row    // stored rows, insertion order
+	next  []int32  // collision chain, same encoding as index
+	rowArena
+}
+
+func newRowSet(sizeHint int) *rowSet {
+	return &rowSet{index: newIDTable(sizeHint)}
+}
+
+// rowArena chunk-allocates row copies for bulk output materialization: one
+// allocation per ~4k values instead of one per row.
+type rowArena struct {
+	chunk []dict.ID
+}
+
+func (a *rowArena) copyRow(row Row) Row {
+	if len(a.chunk)+len(row) > cap(a.chunk) {
+		size := 4096
+		if len(row) > size {
+			size = len(row)
+		}
+		a.chunk = make([]dict.ID, 0, size)
 	}
-	return string(buf)
+	off := len(a.chunk)
+	a.chunk = append(a.chunk, row...)
+	return a.chunk[off : off+len(row) : off+len(row)]
+}
+
+// hashSeed and hashMix define the one hash used by every dedup set and join
+// table in the engine: FNV-style word mixing with an extra avalanche shift,
+// order-sensitive, collisions resolved by value comparison at the call sites.
+const hashSeed uint64 = 14695981039346656037
+
+func hashMix(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	h ^= h >> 29
+	return h
+}
+
+// hashRow hashes all values of a row.
+func hashRow(row Row) uint64 {
+	h := hashSeed
+	for _, v := range row {
+		h = hashMix(h, uint64(v))
+	}
+	return h
+}
+
+// hashValues hashes the row values at the given indexes, in order.
+func hashValues(row Row, idx []int) uint64 {
+	h := hashSeed
+	for _, i := range idx {
+		h = hashMix(h, uint64(row[i]))
+	}
+	return h
+}
+
+func rowsEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *rowSet) len() int { return len(s.rows) }
+
+func (s *rowSet) has(row Row) bool {
+	for j := s.index.get(hashRow(row)); j != 0; j = s.next[j-1] {
+		if rowsEqual(s.rows[j-1], row) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *rowSet) insert(h uint64, head int32, row Row) {
+	s.rows = append(s.rows, row)
+	s.next = append(s.next, head)
+	s.index.put(h, int32(len(s.rows)))
+}
+
+// add inserts the row unless present, reporting whether it was new. The set
+// keeps a reference: the caller must not mutate the row afterwards.
+func (s *rowSet) add(row Row) bool {
+	h := hashRow(row)
+	head := s.index.get(h)
+	for j := head; j != 0; j = s.next[j-1] {
+		if rowsEqual(s.rows[j-1], row) {
+			return false
+		}
+	}
+	s.insert(h, head, row)
+	return true
+}
+
+// addCopy is add for a reused scratch row: on insertion it stores (and
+// returns) a private copy, so the caller may keep overwriting the scratch.
+func (s *rowSet) addCopy(row Row) (Row, bool) {
+	h := hashRow(row)
+	head := s.index.get(h)
+	for j := head; j != 0; j = s.next[j-1] {
+		if rowsEqual(s.rows[j-1], row) {
+			return s.rows[j-1], false
+		}
+	}
+	cp := s.copyRow(row)
+	s.insert(h, head, cp)
+	return cp, true
 }
 
 // Dedup returns a relation with duplicate rows removed (first kept).
 func (r *Relation) Dedup() *Relation {
-	seen := make(map[string]struct{}, len(r.Rows))
+	seen := newRowSet(len(r.Rows))
 	out := NewRelation(r.Cols)
 	for _, row := range r.Rows {
-		k := rowKey(row)
-		if _, ok := seen[k]; ok {
-			continue
+		if seen.add(row) {
+			out.Rows = append(out.Rows, row)
 		}
-		seen[k] = struct{}{}
-		out.Rows = append(out.Rows, row)
 	}
 	return out
 }
@@ -90,19 +201,19 @@ func (r *Relation) EqualAsSet(other *Relation) bool {
 	if r.Arity() != other.Arity() {
 		return false
 	}
-	a := make(map[string]struct{}, len(r.Rows))
+	a := newRowSet(len(r.Rows))
 	for _, row := range r.Rows {
-		a[rowKey(row)] = struct{}{}
+		a.add(row)
 	}
-	b := make(map[string]struct{}, len(other.Rows))
+	b := newRowSet(len(other.Rows))
 	for _, row := range other.Rows {
-		b[rowKey(row)] = struct{}{}
+		b.add(row)
 	}
-	if len(a) != len(b) {
+	if a.len() != b.len() {
 		return false
 	}
-	for k := range a {
-		if _, ok := b[k]; !ok {
+	for _, row := range other.Rows {
+		if !a.has(row) {
 			return false
 		}
 	}
@@ -125,9 +236,9 @@ func (r *Relation) Project(cols []cq.Term) (*Relation, error) {
 		idx[i] = j
 	}
 	out := NewRelation(cols)
-	seen := make(map[string]struct{}, len(r.Rows))
+	seen := newRowSet(len(r.Rows))
+	nr := make(Row, len(cols))
 	for _, row := range r.Rows {
-		nr := make(Row, len(cols))
 		for i, j := range idx {
 			if j < 0 {
 				nr[i] = cols[i].ConstID()
@@ -135,12 +246,9 @@ func (r *Relation) Project(cols []cq.Term) (*Relation, error) {
 				nr[i] = row[j]
 			}
 		}
-		k := rowKey(nr)
-		if _, ok := seen[k]; ok {
-			continue
+		if kept, added := seen.addCopy(nr); added {
+			out.Rows = append(out.Rows, kept)
 		}
-		seen[k] = struct{}{}
-		out.Rows = append(out.Rows, nr)
 	}
 	return out, nil
 }

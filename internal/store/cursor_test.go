@@ -1,0 +1,168 @@
+package store
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rdfviews/internal/dict"
+)
+
+func randomStore(t *testing.T, n int, seed int64) *Store {
+	t.Helper()
+	st := New()
+	rng := rand.New(rand.NewSource(seed))
+	d := st.Dict()
+	ids := make([]dict.ID, 12)
+	for i := range ids {
+		ids[i] = d.EncodeIRI("r" + string(rune('a'+i)))
+	}
+	for i := 0; i < n; i++ {
+		st.Add(Triple{
+			ids[rng.Intn(len(ids))],
+			ids[rng.Intn(4)],
+			ids[rng.Intn(len(ids))],
+		})
+	}
+	return st
+}
+
+func TestPermForCoversAllShapes(t *testing.T) {
+	cols := [][]int{{}, {S}, {P}, {O}, {S, P}, {S, O}, {P, O}, {S, P, O}}
+	for _, bound := range cols {
+		inBound := func(c int) bool {
+			for _, b := range bound {
+				if b == c {
+					return true
+				}
+			}
+			return false
+		}
+		for then := -1; then < 3; then++ {
+			if then >= 0 && inBound(then) {
+				if _, ok := PermFor(bound, then); ok {
+					t.Errorf("PermFor(%v, %d) should fail: then is bound", bound, then)
+				}
+				continue
+			}
+			if then >= 0 && len(bound) == 3 {
+				continue
+			}
+			p, ok := PermFor(bound, then)
+			if !ok {
+				t.Fatalf("PermFor(%v, %d) found no permutation", bound, then)
+			}
+			order := p.Order()
+			for k := 0; k < len(bound); k++ {
+				if !inBound(order[k]) {
+					t.Errorf("PermFor(%v, %d) = %v: position %d not bound", bound, then, p, k)
+				}
+			}
+			if then >= 0 && len(bound) < 3 && order[len(bound)] != then {
+				t.Errorf("PermFor(%v, %d) = %v: next column is %d", bound, then, p, order[len(bound)])
+			}
+		}
+	}
+	if _, ok := PermFor([]int{S, S}, -1); ok {
+		t.Error("duplicate bound column should fail")
+	}
+	if _, ok := PermFor([]int{5}, -1); ok {
+		t.Error("out-of-range column should fail")
+	}
+}
+
+func TestPermString(t *testing.T) {
+	want := map[Perm]string{SPO: "spo", SOP: "sop", PSO: "pso", POS: "pos", OSP: "osp", OPS: "ops"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+}
+
+// cursorMatches drains a cursor and checks order plus set-equality with Match.
+func checkCursor(t *testing.T, st *Store, p Perm, pat Pattern) {
+	t.Helper()
+	var got []Triple
+	c := st.NewCursor(p, pat)
+	for {
+		tr, ok := c.Next()
+		if !ok {
+			break
+		}
+		got = append(got, tr)
+	}
+	// Order: non-decreasing in permutation order.
+	order := p.Order()
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		less := false
+		eq := true
+		for _, c := range order {
+			if a[c] != b[c] {
+				less = a[c] < b[c]
+				eq = false
+				break
+			}
+		}
+		if !less && !eq {
+			t.Fatalf("cursor %v out of order at %d: %v after %v", p, i, b, a)
+		}
+	}
+	want := st.Match(pat)
+	if len(got) != len(want) {
+		t.Fatalf("cursor %v pat %v: %d triples, Match gives %d", p, pat, len(got), len(want))
+	}
+	sortTriples(got)
+	sortTriples(want)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("cursor %v pat %v: triple sets differ", p, pat)
+		}
+	}
+}
+
+func sortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		for k := 0; k < 3; k++ {
+			if ts[i][k] != ts[j][k] {
+				return ts[i][k] < ts[j][k]
+			}
+		}
+		return false
+	})
+}
+
+func TestCursorAllPermsAllPatterns(t *testing.T) {
+	st := randomStore(t, 300, 7)
+	ts := st.Triples()
+	pick := func(i int) dict.ID { return ts[i%len(ts)][i%3] }
+	pats := []Pattern{
+		{},
+		{ts[0][S], Wildcard, Wildcard},
+		{Wildcard, ts[1][P], Wildcard},
+		{Wildcard, Wildcard, ts[2][O]},
+		{ts[3][S], ts[3][P], Wildcard},
+		{ts[4][S], Wildcard, ts[4][O]},
+		{Wildcard, ts[5][P], ts[5][O]},
+		{ts[6][S], ts[6][P], ts[6][O]},
+		{pick(7), pick(8), Wildcard}, // likely empty
+	}
+	for _, pat := range pats {
+		for p := SPO; p <= OPS; p++ {
+			checkCursor(t, st, p, pat)
+		}
+	}
+}
+
+func TestCursorRemaining(t *testing.T) {
+	st := randomStore(t, 100, 3)
+	c := st.NewCursor(SPO, Pattern{})
+	if c.Remaining() != st.Len() {
+		t.Fatalf("Remaining = %d, want %d", c.Remaining(), st.Len())
+	}
+	c.Next()
+	if c.Remaining() != st.Len()-1 {
+		t.Fatalf("Remaining after Next = %d", c.Remaining())
+	}
+}

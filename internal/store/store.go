@@ -49,6 +49,20 @@ func ColumnName(c int) string {
 	return fmt.Sprintf("col%d", c)
 }
 
+// Perm identifies one of the six sorted permutation indexes (the Hexastore
+// scheme): the order in which a triple's columns are compared.
+type Perm int
+
+// The six permutations, in the fixed index order.
+const (
+	SPO Perm = iota
+	SOP
+	PSO
+	POS
+	OSP
+	OPS
+)
+
 // The six permutations, in the fixed order used by indexFor.
 var perms = [6][3]int{
 	{S, P, O}, // SPO
@@ -57,6 +71,54 @@ var perms = [6][3]int{
 	{P, O, S}, // POS
 	{O, S, P}, // OSP
 	{O, P, S}, // OPS
+}
+
+// Order returns the column comparison order of the permutation.
+func (p Perm) Order() [3]int { return perms[p] }
+
+// String returns the conventional name, e.g. "POS".
+func (p Perm) String() string {
+	if p < 0 || int(p) >= len(perms) {
+		return fmt.Sprintf("Perm(%d)", int(p))
+	}
+	o := perms[p]
+	return ColumnName(o[0]) + ColumnName(o[1]) + ColumnName(o[2])
+}
+
+// PermFor returns a permutation whose leading columns are exactly the bound
+// columns of the set (in some order) and whose next column is then (when then
+// is a column not in bound). Because all six orders exist, such a permutation
+// always exists; pass then < 0 to accept any column after the bound prefix.
+// The second result reports success; it is false only when the arguments are
+// inconsistent (then listed as bound, or more than three columns).
+func PermFor(bound []int, then int) (Perm, bool) {
+	var isBound [3]bool
+	for _, c := range bound {
+		if c < 0 || c > 2 || isBound[c] {
+			return SPO, false
+		}
+		isBound[c] = true
+	}
+	if then >= 0 && (then > 2 || isBound[then]) {
+		return SPO, false
+	}
+	for pi, perm := range perms {
+		ok := true
+		for k := 0; k < len(bound); k++ {
+			if !isBound[perm[k]] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if then >= 0 && len(bound) < 3 && perm[len(bound)] != then {
+			continue
+		}
+		return Perm(pi), true
+	}
+	return SPO, false
 }
 
 // Store is the triple table plus its dictionary and indexes.
@@ -180,12 +242,10 @@ func (st *Store) build() {
 	}
 	n := len(st.triples)
 	for pi, perm := range perms {
-		idx := st.indexes[pi]
-		if cap(idx) < n {
-			idx = make([]int32, n)
-		} else {
-			idx = idx[:n]
-		}
+		// Always sort a fresh slice: a Cursor opened before a mutation holds
+		// the previous index slice, and re-sorting that backing array in
+		// place would scramble the cursor mid-iteration.
+		idx := make([]int32, n)
 		for i := range idx {
 			idx[i] = int32(i)
 		}
@@ -281,6 +341,80 @@ func (st *Store) Scan(pat Pattern, fn func(Triple) bool) {
 		}
 	}
 }
+
+// Cursor is a streaming iterator over the triples matching a pattern, in the
+// sorted order of one permutation index. It is the scan primitive of the
+// physical operator engine: a pattern whose bound positions form a prefix of
+// the permutation is answered by a binary-searched range; bound positions
+// beyond the first wildcard are checked as residual filters.
+type Cursor struct {
+	st       *Store
+	idx      []int32
+	pos, hi  int
+	residual [3]ID2 // residual equality checks: (column, value) pairs
+	nres     int
+}
+
+// ID2 pairs a column with a required value for residual filtering.
+type ID2 struct {
+	Col int
+	Val dict.ID
+}
+
+// NewCursor opens a cursor over permutation p for the pattern. The bound
+// pattern positions that form a prefix of p's order are resolved by range
+// lookup; any bound position after a wildcard (in permutation order) is
+// filtered row-by-row. The triples stream in p's sort order.
+//
+// Mutating the store (Add, Remove) invalidates open cursors: like any index
+// iterator they must be drained before the next mutation.
+func (st *Store) NewCursor(p Perm, pat Pattern) Cursor {
+	st.build()
+	order := perms[p]
+	var prefix []dict.ID
+	k := 0
+	for ; k < 3; k++ {
+		if pat[order[k]] == Wildcard {
+			break
+		}
+		prefix = append(prefix, pat[order[k]])
+	}
+	c := Cursor{st: st, idx: st.indexes[p]}
+	for ; k < 3; k++ {
+		if v := pat[order[k]]; v != Wildcard {
+			c.residual[c.nres] = ID2{Col: order[k], Val: v}
+			c.nres++
+		}
+	}
+	c.pos, c.hi = 0, len(c.idx)
+	if len(prefix) > 0 {
+		c.pos, c.hi = st.rangeOf(int(p), prefix)
+	}
+	return c
+}
+
+// Next returns the next matching triple, in permutation order.
+func (c *Cursor) Next() (Triple, bool) {
+	for c.pos < c.hi {
+		t := c.st.triples[c.idx[c.pos]]
+		c.pos++
+		ok := true
+		for i := 0; i < c.nres; i++ {
+			if t[c.residual[i].Col] != c.residual[i].Val {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return t, true
+		}
+	}
+	return Triple{}, false
+}
+
+// Remaining returns an upper bound on the triples left to stream (exact when
+// the cursor has no residual filters).
+func (c *Cursor) Remaining() int { return c.hi - c.pos }
 
 // Match returns all triples matching the pattern.
 func (st *Store) Match(pat Pattern) []Triple {

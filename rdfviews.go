@@ -14,6 +14,29 @@
 // database saturation or the paper's novel query reformulation algorithm
 // (post-reformulation), selected with Options.Reasoning.
 //
+// # Architecture
+//
+// The library is layered as a small database system:
+//
+//   - internal/store holds the dictionary-encoded triple table with its six
+//     sorted permutation indexes (the Hexastore scheme the paper's platform
+//     section assumes) and exposes ordered prefix cursors over them.
+//   - internal/engine evaluates queries in two stages. A planner compiles
+//     each conjunctive query into a physical plan — permutation-aware index
+//     scans, merge joins when both inputs arrive sorted on the join variable
+//     through a compatible permutation, hash joins otherwise, then
+//     projection and duplicate elimination — choosing the join order from
+//     the same cardinality statistics the cost model uses. A streaming
+//     executor then pulls dictionary-encoded tuples through slice-based
+//     variable registers (no per-row maps, no string keys). Rewriting plans
+//     over materialized views execute on an analogous streaming operator
+//     set. Database.ExplainQuery and Recommendation.ExplainPhysical render
+//     the compiled physical plans.
+//   - internal/cq, internal/algebra, internal/cost, internal/stats and
+//     internal/core implement the paper proper: conjunctive query theory,
+//     the rewriting algebra, the cost model of Section 3.3, its statistics
+//     providers, and the view-selection search strategies of Section 5.
+//
 // Quick start:
 //
 //	db := rdfviews.NewDatabase()
@@ -222,6 +245,18 @@ func (db *Database) Answer(q *cq.Query, mode Reasoning) ([][]string, error) {
 		return nil, err
 	}
 	return db.decodeRows(rel), nil
+}
+
+// ExplainQuery renders the physical plan the engine compiles to answer q
+// directly on the store (explicit triples only): the chosen index-scan
+// permutations, join operators and ordering. For the plans behind a
+// recommendation, see Recommendation.ExplainPhysical.
+func (db *Database) ExplainQuery(q *cq.Query) (string, error) {
+	p, err := engine.PlanQuery(db.st, q)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
 }
 
 func (db *Database) decodeRows(rel *engine.Relation) [][]string {
