@@ -7,11 +7,17 @@
 //
 //	rdfviews -data data.nt -queries workload.cq [-schema schema.nt] \
 //	         [-strategy dfs] [-reasoning post] [-timeout 10s] [-answer] \
-//	         [-explain-physical]
+//	         [-explain-physical] [-shards 4]
 //
 // The workload file holds one query per line:
 //
 //	q(X, Z) :- t(X, hasPainted, starryNight), t(X, isParentOf, Y), t(Y, hasPainted, Z)
+//
+// -shards N hash-partitions the triple store across N shards (by subject).
+// Large index scans then fan out across the shards on worker goroutines —
+// the Gather/ParallelScan operators visible under -explain-physical — using
+// one core per shard when available; updates touch only the owning shard's
+// indexes. The default (1) is the classic single-table layout.
 package main
 
 import (
@@ -34,6 +40,7 @@ func main() {
 		answer     = flag.Bool("answer", false, "materialize the views and print each query's answers")
 		maxRows    = flag.Int("maxrows", 10, "max answer rows to print per query")
 		explainPhy = flag.Bool("explain-physical", false, "print the physical plans: view materialization pipelines (scan permutations, joins) and rewriting operator trees")
+		shards     = flag.Int("shards", 1, "hash-partition the triple store across N shards (by subject); >1 parallelizes large scans across cores")
 	)
 	flag.Parse()
 	if *dataPath == "" || *queryPath == "" {
@@ -41,7 +48,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	db := rdfviews.NewDatabase()
+	db := rdfviews.NewDatabaseSharded(*shards)
 	if err := loadFile(db, *dataPath, false); err != nil {
 		fatal(err)
 	}

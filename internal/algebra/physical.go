@@ -19,6 +19,9 @@ type PhysNode struct {
 	Detail string
 	// EstRows is the operator's estimated output cardinality (0 if unknown).
 	EstRows float64
+	// DOP is the operator's degree of parallelism: the number of worker
+	// streams an exchange operator (Gather) fans out over. 0 means serial.
+	DOP int
 	// Children are the input operators, left to right.
 	Children []*PhysNode
 }
@@ -47,6 +50,9 @@ func (n *PhysNode) render(sb *strings.Builder, depth int) {
 	if n.Detail != "" {
 		sb.WriteString(" ")
 		sb.WriteString(n.Detail)
+	}
+	if n.DOP > 0 {
+		fmt.Fprintf(sb, " dop=%d", n.DOP)
 	}
 	if n.EstRows > 0 {
 		fmt.Fprintf(sb, "  (≈%.0f rows)", n.EstRows)

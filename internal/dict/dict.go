@@ -5,11 +5,17 @@
 //
 // IDs start at 1; 0 is never a valid ID (the conjunctive-query layer reserves
 // non-positive values for variables).
+//
+// The dictionary is safe for concurrent use: encoders take a write lock,
+// decoders and lookups a read lock, matching the sharded store's
+// readers-alongside-writers contract (a query decoding answers must not race
+// an update encoding fresh terms).
 package dict
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"rdfviews/internal/rdf"
 )
@@ -20,6 +26,7 @@ type ID int64
 // Dictionary is a bidirectional mapping between RDF terms and IDs.
 // The zero value is not usable; call New.
 type Dictionary struct {
+	mu    sync.RWMutex
 	byKey map[string]ID
 	terms []rdf.Term // terms[i] has ID i+1
 }
@@ -32,6 +39,8 @@ func New() *Dictionary {
 // Encode returns the ID for the term, assigning a fresh one on first sight.
 func (d *Dictionary) Encode(t rdf.Term) ID {
 	k := t.Key()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.byKey[k]; ok {
 		return id
 	}
@@ -49,7 +58,10 @@ func (d *Dictionary) EncodeIRI(iri string) ID {
 
 // Lookup returns the ID for the term if it is already in the dictionary.
 func (d *Dictionary) Lookup(t rdf.Term) (ID, bool) {
-	id, ok := d.byKey[t.Key()]
+	k := t.Key()
+	d.mu.RLock()
+	id, ok := d.byKey[k]
+	d.mu.RUnlock()
 	return id, ok
 }
 
@@ -61,6 +73,8 @@ func (d *Dictionary) LookupIRI(iri string) (ID, bool) {
 // Decode returns the term for the ID. It returns an error for IDs that were
 // never assigned.
 func (d *Dictionary) Decode(id ID) (rdf.Term, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if id < 1 || int(id) > len(d.terms) {
 		return rdf.Term{}, fmt.Errorf("dict: ID %d out of range [1,%d]", id, len(d.terms))
 	}
@@ -78,7 +92,11 @@ func (d *Dictionary) MustDecode(id ID) rdf.Term {
 }
 
 // Len returns the number of distinct terms in the dictionary.
-func (d *Dictionary) Len() int { return len(d.terms) }
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
 
 // AvgValueLen returns the average length, in bytes, of the lexical forms of
 // the terms whose IDs are given. It is the statistic behind the paper's
@@ -112,8 +130,12 @@ func (d *Dictionary) SortedIDs() []ID {
 
 // Terms returns the terms in ID order (Terms()[i] has ID i+1) — the
 // serialization form used by the persistence layer. The returned slice must
-// not be modified.
-func (d *Dictionary) Terms() []rdf.Term { return d.terms }
+// not be modified, and concurrent encoders may append past its length.
+func (d *Dictionary) Terms() []rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.terms
+}
 
 // FromTerms rebuilds a dictionary from a Terms() slice, preserving IDs.
 func FromTerms(terms []rdf.Term) *Dictionary {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"testing"
 
 	"rdfviews/internal/algebra"
@@ -108,4 +109,61 @@ func BenchmarkMaterializeView(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchShardedData loads the standard 20k-triple benchmark dataset into a
+// k-shard store over the same dictionary as benchData.
+func benchShardedData(b *testing.B, k int) (*store.Store, *cq.Parser) {
+	b.Helper()
+	st, _ := datagen.Generate(datagen.Config{Triples: 20000, Seed: 1})
+	if k == 1 {
+		st.Count(store.Pattern{})
+		return st, cq.NewParser(st.Dict())
+	}
+	sh := store.NewWithDictSharded(st.Dict(), k)
+	sh.AddBatch(st.Triples())
+	sh.Count(store.Pattern{})
+	return sh, cq.NewParser(sh.Dict())
+}
+
+// benchShardQuery runs one query shape over 1-, 2- and 4-shard stores; with
+// >1 shard the driving scan fans out across the exchange operators, so the
+// sub-benchmarks measure the parallel speedup (bounded by GOMAXPROCS).
+func benchShardQuery(b *testing.B, src string) {
+	oldMin := parallelScanMinRows
+	parallelScanMinRows = 0
+	defer func() { parallelScanMinRows = oldMin }()
+	var baseline *Relation
+	for _, k := range []int{1, 2, 4} {
+		st, p := benchShardedData(b, k)
+		q := p.MustParseQuery(src)
+		got, err := EvalQuery(st, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = got
+		} else if !got.EqualAsSet(baseline) {
+			b.Fatalf("shards=%d disagrees with single shard: %d vs %d rows", k, got.Len(), baseline.Len())
+		}
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EvalQuery(st, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkShardFullScan(b *testing.B) {
+	benchShardQuery(b, "q(X, P, Y) :- t(X, P, Y)")
+}
+
+func BenchmarkShardChainJoin(b *testing.B) {
+	benchShardQuery(b, benchQueries["Chain3"])
+}
+
+func BenchmarkShardStarJoin(b *testing.B) {
+	benchShardQuery(b, benchQueries["Star4"])
 }

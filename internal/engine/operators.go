@@ -163,6 +163,9 @@ func (m *mergeJoinOp) next() (Row, bool) {
 	}
 }
 
+// close releases any parallel-scan workers feeding the pipeline below.
+func (m *mergeJoinOp) close() { closeOp(m.left) }
+
 // hashJoinOp builds a hash table over the atom's matching triples keyed by
 // the shared variables' positions, then probes it with the streaming left
 // pipeline. The table maps a 64-bit key hash to a chain of triple indexes
@@ -186,6 +189,9 @@ type hashJoinOp struct {
 	emitting bool
 	out      Row
 }
+
+// close releases any parallel-scan workers feeding the pipeline below.
+func (j *hashJoinOp) close() { closeOp(j.left) }
 
 // hashIDs hashes the triple values at the given positions, consistently with
 // hashValues so build and probe sides agree.

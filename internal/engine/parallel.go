@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"sync"
+
+	"rdfviews/internal/dict"
+	"rdfviews/internal/store"
+)
+
+// Exchange-style parallel operators: when the store is sharded, the planner
+// replaces the driving index scan of a pipeline with a fan-out that opens one
+// shard-local cursor per partition on its own goroutine and streams bound
+// register rows back in batches.
+//
+// Two gather shapes exist, mirroring classic exchange operators:
+//
+//   - exchangeOp collects batches from all workers over one channel in
+//     arrival order — used when nothing downstream depends on the scan's
+//     sort order (hash joins, plain projection);
+//   - gatherMergeOp keeps one channel per worker and merges their streams on
+//     the pipeline's sort slot. Each shard cursor emits in permutation
+//     order, so the merge restores the global order a downstream merge join
+//     requires.
+//
+// Workers always run to completion when the pipeline is drained; close()
+// (called by Eval on exit) releases them early if the pipeline is abandoned.
+
+// scanBatchRows is the number of rows a worker accumulates before handing a
+// batch to the consumer; each batch carries its own value arena.
+const scanBatchRows = 256
+
+// scanShard streams one shard's matching triples as batches of bound
+// register rows. It returns early when done closes.
+func scanShard(st *store.Store, shard int, spec *atomSpec, width int, out chan<- []Row, done <-chan struct{}) {
+	cur := st.ShardCursor(shard, spec.perm, spec.pat)
+	var batch []Row
+	var buf []dict.ID
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		select {
+		case out <- batch:
+			batch, buf = nil, nil
+			return true
+		case <-done:
+			return false
+		}
+	}
+	for {
+		t, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if buf == nil {
+			buf = make([]dict.ID, 0, scanBatchRows*width)
+			batch = make([]Row, 0, scanBatchRows)
+		}
+		off := len(buf)
+		buf = buf[:off+width]
+		row := buf[off : off+width : off+width]
+		if !spec.bindInto(row, t) {
+			buf = buf[:off]
+			continue
+		}
+		batch = append(batch, row)
+		if len(batch) == scanBatchRows {
+			if !flush() {
+				return
+			}
+		}
+	}
+	flush()
+}
+
+// exchangeOp is the unordered parallel scan: dop workers, one per shard, all
+// feeding a single channel; batches surface in whatever order shards produce
+// them.
+type exchangeOp struct {
+	st    *store.Store
+	spec  *atomSpec
+	width int
+	dop   int
+
+	started bool
+	closed  bool
+	done    chan struct{}
+	ch      chan []Row
+	batch   []Row
+	i       int
+}
+
+func (e *exchangeOp) start() {
+	e.done = make(chan struct{})
+	e.ch = make(chan []Row, e.dop)
+	var wg sync.WaitGroup
+	for s := 0; s < e.dop; s++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			scanShard(e.st, shard, e.spec, e.width, e.ch, e.done)
+		}(s)
+	}
+	go func() {
+		wg.Wait()
+		close(e.ch)
+	}()
+	e.started = true
+}
+
+func (e *exchangeOp) next() (Row, bool) {
+	if !e.started {
+		e.start()
+	}
+	for {
+		if e.i < len(e.batch) {
+			row := e.batch[e.i]
+			e.i++
+			return row, true
+		}
+		batch, ok := <-e.ch
+		if !ok {
+			return nil, false
+		}
+		e.batch, e.i = batch, 0
+	}
+}
+
+func (e *exchangeOp) close() {
+	if !e.started || e.closed {
+		return
+	}
+	e.closed = true
+	close(e.done)
+	for range e.ch { // unblock any worker parked on send
+	}
+}
+
+// gatherMergeOp is the ordered parallel scan: one channel per shard worker,
+// merged on the register slot the pipeline is sorted on. Because every shard
+// stream arrives in permutation order, picking the minimum head restores the
+// global sort order for downstream merge joins.
+type gatherMergeOp struct {
+	st    *store.Store
+	spec  *atomSpec
+	width int
+	dop   int
+	slot  int // register slot the streams are merged on
+
+	started bool
+	closed  bool
+	done    chan struct{}
+	streams []shardStream
+}
+
+// shardStream is one worker's output with its merge head.
+type shardStream struct {
+	ch    chan []Row
+	batch []Row
+	i     int
+	eof   bool
+}
+
+// head returns the stream's current row, refilling from the channel as
+// needed; ok is false once the stream is exhausted.
+func (s *shardStream) head() (Row, bool) {
+	for !s.eof && s.i >= len(s.batch) {
+		batch, ok := <-s.ch
+		if !ok {
+			s.eof = true
+			break
+		}
+		s.batch, s.i = batch, 0
+	}
+	if s.eof {
+		return nil, false
+	}
+	return s.batch[s.i], true
+}
+
+func (g *gatherMergeOp) start() {
+	g.done = make(chan struct{})
+	g.streams = make([]shardStream, g.dop)
+	for s := 0; s < g.dop; s++ {
+		ch := make(chan []Row, 2)
+		g.streams[s].ch = ch
+		go func(shard int, out chan []Row) {
+			defer close(out)
+			scanShard(g.st, shard, g.spec, g.width, out, g.done)
+		}(s, ch)
+	}
+	g.started = true
+}
+
+func (g *gatherMergeOp) next() (Row, bool) {
+	if !g.started {
+		g.start()
+	}
+	best := -1
+	var bestRow Row
+	for i := range g.streams {
+		row, ok := g.streams[i].head()
+		if !ok {
+			continue
+		}
+		if best < 0 || row[g.slot] < bestRow[g.slot] {
+			best, bestRow = i, row
+		}
+	}
+	if best < 0 {
+		return nil, false
+	}
+	g.streams[best].i++
+	return bestRow, true
+}
+
+func (g *gatherMergeOp) close() {
+	if !g.started || g.closed {
+		return
+	}
+	g.closed = true
+	close(g.done)
+	for i := range g.streams {
+		for range g.streams[i].ch {
+		}
+	}
+}
+
+// closeOp releases any parallel workers below the operator; safe on
+// operators without goroutines.
+func closeOp(o op) {
+	if c, ok := o.(interface{ close() }); ok {
+		c.close()
+	}
+}

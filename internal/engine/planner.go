@@ -54,7 +54,17 @@ type planStep struct {
 	keySlots []int // hash join: register slots of the shared variables
 	keyPos   []int // hash join: matching triple positions
 	est      float64
+
+	// Exchange parallelism (driving scan only): par > 1 fans the scan out
+	// across that many store shards on worker goroutines; parSlot is the
+	// register slot an ordered gather merges on (-1 for arrival order).
+	par     int
+	parSlot int
 }
+
+// parallelScanMinRows is the estimated driving-scan cardinality below which
+// fanning out across shards is not worth the goroutine and channel overhead.
+var parallelScanMinRows = 1024.0
 
 // QueryPlan is a compiled physical plan for one conjunctive query: a
 // left-deep pipeline of index scans and joins over the store's six sorted
@@ -156,6 +166,26 @@ func PlanQueryWithStats(st *store.Store, q *cq.Query, cards Cards) (*QueryPlan, 
 		for _, t := range a {
 			if t.IsVar() {
 				bound[slotOf[t]] = true
+			}
+		}
+	}
+
+	// Exchange parallelism: a driving scan over a sharded store whose subject
+	// is unbound touches every shard, so fan it out across them when it is
+	// large enough to amortize the workers. When any downstream merge join
+	// consumes the scan's sort order, the fan-in is an ordered gather merging
+	// on the sorted slot; otherwise batches surface in arrival order. With
+	// one shard (the default) plans are exactly the historical serial ones.
+	if len(p.steps) > 0 && p.steps[0].kind == stepScan && st != nil && st.NumShards() > 1 {
+		s0 := &p.steps[0]
+		if s0.spec.pat[store.S] == store.Wildcard && s0.est >= parallelScanMinRows {
+			s0.par = st.NumShards()
+			s0.parSlot = -1
+			for _, s := range p.steps[1:] {
+				if s.kind == stepMergeJoin {
+					s0.parSlot = sorted
+					break
+				}
 			}
 		}
 	}
@@ -324,7 +354,14 @@ func (p *QueryPlan) buildOps() op {
 		s := &p.steps[i]
 		switch s.kind {
 		case stepScan:
-			cur = &scanOp{st: p.st, spec: s.spec, width: p.width}
+			switch {
+			case s.par > 1 && s.parSlot >= 0:
+				cur = &gatherMergeOp{st: p.st, spec: s.spec, width: p.width, dop: s.par, slot: s.parSlot}
+			case s.par > 1:
+				cur = &exchangeOp{st: p.st, spec: s.spec, width: p.width, dop: s.par}
+			default:
+				cur = &scanOp{st: p.st, spec: s.spec, width: p.width}
+			}
 		case stepMergeJoin:
 			cur = &mergeJoinOp{left: cur, st: p.st, spec: s.spec, slot: s.joinSlot, rpos: s.rpos, width: p.width}
 		default: // stepHashJoin, stepCross (a hash join with no key columns)
@@ -338,6 +375,7 @@ func (p *QueryPlan) buildOps() op {
 // observable contract as the evaluator this engine replaced.
 func (p *QueryPlan) Eval() (*Relation, error) {
 	root := p.buildOps()
+	defer closeOp(root) // release parallel-scan workers on every exit path
 	out := NewRelation(p.head)
 	scratch := make(Row, len(p.head))
 	var arena rowArena
@@ -385,6 +423,17 @@ func (p *QueryPlan) Describe() *algebra.PhysNode {
 		switch s.kind {
 		case stepScan:
 			node = scan
+			if s.par > 1 {
+				scan.Op = "ParallelScan"
+				scan.Detail += fmt.Sprintf(" shards=%d", s.par)
+				detail := ""
+				if s.parSlot >= 0 {
+					detail = fmt.Sprintf("merge=[%s]", p.slotTerms[s.parSlot])
+				}
+				gather := algebra.NewPhysNode("Gather", detail, s.est, scan)
+				gather.DOP = s.par
+				node = gather
+			}
 		case stepMergeJoin:
 			node = algebra.NewPhysNode("MergeJoin",
 				fmt.Sprintf("[%s]", p.slotTerms[s.joinSlot]), 0, node, scan)

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"rdfviews/internal/cq"
+	"rdfviews/internal/dict"
+)
+
+// TestRowIndexChurn drives RowIndex through random add/remove churn against
+// a map model, exercising the swap-delete chain fixups.
+func TestRowIndexChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	rel := NewRelation([]cq.Term{cq.Var(1), cq.Var(2)})
+	x := NewRowIndex(rel)
+	model := make(map[[2]dict.ID]bool)
+	mkRow := func() Row {
+		return Row{dict.ID(rng.Intn(30) + 1), dict.ID(rng.Intn(30) + 1)}
+	}
+	key := func(r Row) [2]dict.ID { return [2]dict.ID{r[0], r[1]} }
+	for i := 0; i < 20000; i++ {
+		r := mkRow()
+		if rng.Intn(2) == 0 {
+			if got, want := x.Add(r), !model[key(r)]; got != want {
+				t.Fatalf("step %d: Add(%v) = %v, want %v", i, r, got, want)
+			}
+			model[key(r)] = true
+		} else {
+			if got, want := x.Remove(r), model[key(r)]; got != want {
+				t.Fatalf("step %d: Remove(%v) = %v, want %v", i, r, got, want)
+			}
+			delete(model, key(r))
+		}
+		if x.Len() != len(model) {
+			t.Fatalf("step %d: Len = %d, model %d", i, x.Len(), len(model))
+		}
+	}
+	// Final sweep: membership agrees row-by-row, and the relation holds
+	// exactly the model's rows.
+	for a := 1; a <= 30; a++ {
+		for b := 1; b <= 30; b++ {
+			r := Row{dict.ID(a), dict.ID(b)}
+			if x.Has(r) != model[key(r)] {
+				t.Fatalf("Has(%v) = %v, model %v", r, x.Has(r), model[key(r)])
+			}
+		}
+	}
+	for _, row := range rel.Rows {
+		if !model[key(row)] {
+			t.Fatalf("relation holds %v not in model", row)
+		}
+	}
+}
+
+func TestRowSetDedup(t *testing.T) {
+	s := NewRowSet(4)
+	for i := 0; i < 100; i++ {
+		row := Row{dict.ID(i%10 + 1), dict.ID(i%5 + 1)}
+		want := i < 10 // first 10 combinations are fresh
+		if got := s.Add(append(Row(nil), row...)); got != want {
+			t.Fatalf("i=%d: Add(%v) = %v, want %v", i, row, got, want)
+		}
+		if !s.Has(row) {
+			t.Fatalf("i=%d: Has(%v) = false after Add", i, row)
+		}
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+}

@@ -28,57 +28,20 @@ type Maintainer struct {
 	extents map[algebra.ViewID]*extent
 }
 
-// extent is a relation plus a row index for O(1) membership and deletion.
+// extent is a relation plus a hashed row index for O(1) membership and
+// swap-deletion — the engine's RowIndex (idTable chains over raw ID words),
+// so delta propagation allocates no per-row string keys.
 type extent struct {
 	rel   *engine.Relation
-	index map[string]int // row key -> position in rel.Rows
+	index *engine.RowIndex
 }
 
 func newExtent(rel *engine.Relation) *extent {
-	e := &extent{rel: rel, index: make(map[string]int, rel.Len())}
-	for i, row := range rel.Rows {
-		e.index[rowKey(row)] = i
-	}
-	return e
+	return &extent{rel: rel, index: engine.NewRowIndex(rel)}
 }
 
-func (e *extent) add(row engine.Row) bool {
-	k := rowKey(row)
-	if _, ok := e.index[k]; ok {
-		return false
-	}
-	e.index[k] = len(e.rel.Rows)
-	e.rel.Rows = append(e.rel.Rows, row)
-	return true
-}
-
-func (e *extent) remove(row engine.Row) bool {
-	k := rowKey(row)
-	i, ok := e.index[k]
-	if !ok {
-		return false
-	}
-	last := len(e.rel.Rows) - 1
-	moved := e.rel.Rows[last]
-	e.rel.Rows[i] = moved
-	e.rel.Rows = e.rel.Rows[:last]
-	delete(e.index, k)
-	if i != last {
-		e.index[rowKey(moved)] = i
-	}
-	return true
-}
-
-func rowKey(row engine.Row) string {
-	buf := make([]byte, 8*len(row))
-	for i, v := range row {
-		u := uint64(v)
-		for b := 0; b < 8; b++ {
-			buf[i*8+b] = byte(u >> (8 * b))
-		}
-	}
-	return string(buf)
-}
+func (e *extent) add(row engine.Row) bool    { return e.index.Add(row) }
+func (e *extent) remove(row engine.Row) bool { return e.index.Remove(row) }
 
 // New materializes every view and returns a maintainer over them. The store
 // must be updated only through the maintainer from then on.
@@ -182,7 +145,7 @@ func (m *Maintainer) Delete(t store.Triple) (int, error) {
 // deltaRows evaluates the delta of view v for triple t: the union over atoms
 // of v unifying with t of the view with that atom's variables bound.
 func (m *Maintainer) deltaRows(v *cq.Query, t store.Triple) ([]engine.Row, error) {
-	seen := make(map[string]struct{})
+	seen := engine.NewRowSet(8)
 	var out []engine.Row
 	for i := range v.Atoms {
 		qb, ok := bindAtom(v, i, t)
@@ -194,9 +157,7 @@ func (m *Maintainer) deltaRows(v *cq.Query, t store.Triple) ([]engine.Row, error
 			return nil, err
 		}
 		for _, row := range rel.Rows {
-			k := rowKey(row)
-			if _, dup := seen[k]; !dup {
-				seen[k] = struct{}{}
+			if seen.Add(row) {
 				out = append(out, row)
 			}
 		}

@@ -29,43 +29,67 @@ func init() {
 	gob.Register(&algebra.Union{})
 }
 
-// FormatVersion guards against loading bundles written by an incompatible
-// release.
-const FormatVersion = 1
+// FormatVersion is the current snapshot/bundle format. Version 2 added
+// per-shard database sections; readers accept version 1 artifacts (flat
+// triple list, single shard) for backward compatibility.
+const FormatVersion = 2
 
-// databaseImage is the gob form of a database snapshot.
+// oldestReadableVersion is the earliest format readers still understand.
+const oldestReadableVersion = 1
+
+// databaseImage is the gob form of a database snapshot. Version 1 wrote the
+// flat Triples list; version 2 writes Shards + Sections (one triple section
+// per store shard), so a sharded store round-trips with its partitioning.
+// Gob leaves absent fields zero, which is how the v2 reader recognizes v1
+// images.
 type databaseImage struct {
-	Version int
-	Terms   []rdf.Term
-	Triples []store.Triple
-	Schema  []rdf.Statement
+	Version  int
+	Terms    []rdf.Term
+	Triples  []store.Triple // v1 layout; nil in v2 images
+	Schema   []rdf.Statement
+	Shards   int              // v2: shard count (0 in v1 images)
+	Sections [][]store.Triple // v2: per-shard triples
 }
 
-// SaveDatabase writes a snapshot of the store and schema.
+// SaveDatabase writes a snapshot of the store and schema, with one section
+// per shard. The shard sections are pinned before the dictionary: the
+// dictionary is append-only, so terms captured last are always a superset of
+// the IDs in the earlier-pinned triples even when writers run concurrently.
 func SaveDatabase(w io.Writer, st *store.Store, schema *rdf.Schema) error {
 	img := databaseImage{
 		Version: FormatVersion,
-		Terms:   st.Dict().Terms(),
-		Triples: st.Triples(),
+		Shards:  st.NumShards(),
 	}
+	img.Sections = make([][]store.Triple, st.NumShards())
+	for i := range img.Sections {
+		img.Sections[i] = st.ShardTriples(i)
+	}
+	img.Terms = st.Dict().Terms()
 	if schema != nil {
 		img.Schema = schema.Statements()
 	}
 	return gob.NewEncoder(w).Encode(&img)
 }
 
-// LoadDatabase reads a snapshot back into a fresh store and schema.
+// LoadDatabase reads a snapshot back into a fresh store and schema. Version 1
+// images load into a single-shard store; version 2 images restore the shard
+// count they were written with.
 func LoadDatabase(r io.Reader) (*store.Store, *rdf.Schema, error) {
 	var img databaseImage
 	if err := gob.NewDecoder(r).Decode(&img); err != nil {
 		return nil, nil, fmt.Errorf("persist: decoding database: %w", err)
 	}
-	if img.Version != FormatVersion {
+	if img.Version < oldestReadableVersion || img.Version > FormatVersion {
 		return nil, nil, fmt.Errorf("persist: unsupported format version %d", img.Version)
 	}
-	st := store.NewWithDict(dict.FromTerms(img.Terms))
-	for _, t := range img.Triples {
-		st.Add(t)
+	shards := img.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	st := store.NewWithDictSharded(dict.FromTerms(img.Terms), shards)
+	st.AddBatch(img.Triples)
+	for _, sec := range img.Sections {
+		st.AddBatch(sec)
 	}
 	schema := rdf.NewSchema()
 	for _, s := range img.Schema {
@@ -131,7 +155,8 @@ func LoadBundle(r io.Reader) (*Bundle, error) {
 	if err := gob.NewDecoder(r).Decode(&b); err != nil {
 		return nil, fmt.Errorf("persist: decoding bundle: %w", err)
 	}
-	if b.Version != FormatVersion {
+	// The bundle layout is unchanged since version 1; accept the range.
+	if b.Version < oldestReadableVersion || b.Version > FormatVersion {
 		return nil, fmt.Errorf("persist: unsupported format version %d", b.Version)
 	}
 	return &b, nil

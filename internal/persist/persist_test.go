@@ -2,6 +2,8 @@ package persist
 
 import (
 	"bytes"
+	"encoding/gob"
+	"fmt"
 	"testing"
 
 	"rdfviews/internal/algebra"
@@ -139,5 +141,87 @@ func TestNewBundleMissingExtent(t *testing.T) {
 		map[algebra.ViewID]*cq.Query{1: v}, map[algebra.ViewID]*engine.Relation{})
 	if err == nil {
 		t.Fatal("missing extent accepted")
+	}
+}
+
+// TestLoadVersion1DatabaseImage reads an image in the pre-shard layout (flat
+// Triples list, no Shards/Sections fields) — the backward-compatibility
+// contract of the version 2 reader.
+func TestLoadVersion1DatabaseImage(t *testing.T) {
+	st := store.New()
+	st.MustAddGraph(rdf.MustParse(`
+u1 hasPainted starryNight .
+u1 isParentOf u2 .
+u2 hasPainted irises .
+`))
+	img := databaseImage{
+		Version: 1,
+		Terms:   st.Dict().Terms(),
+		Triples: st.Triples(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&img); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := LoadDatabase(&buf)
+	if err != nil {
+		t.Fatalf("v1 image rejected: %v", err)
+	}
+	if got.NumShards() != 1 {
+		t.Fatalf("v1 image restored %d shards, want 1", got.NumShards())
+	}
+	if got.Len() != st.Len() {
+		t.Fatalf("v1 image restored %d triples, want %d", got.Len(), st.Len())
+	}
+	for _, tr := range st.Triples() {
+		if !got.Contains(tr) {
+			t.Fatalf("v1 image lost %v", tr)
+		}
+	}
+}
+
+// TestShardedDatabaseRoundTrip checks that a sharded store snapshots into
+// per-shard sections and restores with its partitioning intact.
+func TestShardedDatabaseRoundTrip(t *testing.T) {
+	st := store.NewSharded(4)
+	d := st.Dict()
+	for i := 0; i < 500; i++ {
+		st.Add(store.Triple{
+			d.EncodeIRI(fmt.Sprintf("s%d", i%97)),
+			d.EncodeIRI(fmt.Sprintf("p%d", i%7)),
+			d.EncodeIRI(fmt.Sprintf("o%d", i)),
+		})
+	}
+	// Some deletions, so the sections are written from a snapshot with holes.
+	for _, tr := range st.Triples()[:50] {
+		st.Remove(tr)
+	}
+	var buf bytes.Buffer
+	if err := SaveDatabase(&buf, st, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := LoadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumShards() != 4 {
+		t.Fatalf("restored %d shards, want 4", got.NumShards())
+	}
+	if got.Len() != st.Len() {
+		t.Fatalf("restored %d triples, want %d", got.Len(), st.Len())
+	}
+	for _, tr := range st.Triples() {
+		if !got.Contains(tr) {
+			t.Fatalf("round trip lost %v", tr)
+		}
+	}
+	// The unsupported-version guard still trips.
+	bad := databaseImage{Version: FormatVersion + 1}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadDatabase(&buf); err == nil {
+		t.Fatal("future version accepted")
 	}
 }

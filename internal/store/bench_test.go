@@ -3,8 +3,10 @@ package store
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
+	"rdfviews/internal/dict"
 	"rdfviews/internal/rdf"
 )
 
@@ -65,5 +67,123 @@ func BenchmarkIndexBuild(b *testing.B) {
 			st2.Add(t)
 		}
 		st2.Count(Pattern{}) // force the six sorts
+	}
+}
+
+// legacyTable replicates the pre-shard maintenance strategy as a benchmark
+// baseline: every mutation marks the table dirty, and the next read pays a
+// full re-sort of all six permutation indexes.
+type legacyTable struct {
+	triples []Triple
+	present map[Triple]struct{}
+	dirty   bool
+	indexes [6][]int32
+}
+
+func newLegacyTable() *legacyTable {
+	return &legacyTable{present: make(map[Triple]struct{}), dirty: true}
+}
+
+func (lt *legacyTable) add(t Triple) bool {
+	if _, ok := lt.present[t]; ok {
+		return false
+	}
+	lt.present[t] = struct{}{}
+	lt.triples = append(lt.triples, t)
+	lt.dirty = true
+	return true
+}
+
+func (lt *legacyTable) build() {
+	if !lt.dirty {
+		return
+	}
+	n := len(lt.triples)
+	for pi, perm := range perms {
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		p0, p1, p2 := perm[0], perm[1], perm[2]
+		sort.Slice(idx, func(a, b int) bool {
+			ta, tb := lt.triples[idx[a]], lt.triples[idx[b]]
+			if ta[p0] != tb[p0] {
+				return ta[p0] < tb[p0]
+			}
+			if ta[p1] != tb[p1] {
+				return ta[p1] < tb[p1]
+			}
+			return ta[p2] < tb[p2]
+		})
+		lt.indexes[pi] = idx
+	}
+	lt.dirty = false
+}
+
+func (lt *legacyTable) count(pat Pattern) int {
+	lt.build()
+	pi, prefix := indexFor(pat)
+	if prefix == nil {
+		return len(lt.triples)
+	}
+	lo, hi := rangeIn(lt.triples, lt.indexes[pi], perms[pi], prefix)
+	return hi - lo
+}
+
+// benchUpdateTriple returns the i-th synthetic update triple.
+func benchUpdateTriple(d *dict.Dictionary, i int) Triple {
+	return Triple{
+		d.EncodeIRI(fmt.Sprintf("upd-s%d", i)),
+		d.EncodeIRI("upd-p"),
+		d.EncodeIRI(fmt.Sprintf("upd-o%d", i)),
+	}
+}
+
+// BenchmarkUpdateThenRead compares the update-heavy workload that motivated
+// incremental maintenance: each operation inserts one triple and immediately
+// reads a pattern count (the shape of delta propagation in
+// internal/maintain). The legacy baseline re-sorts all six indexes at every
+// read-after-write; the incremental store pays a small overlay merge.
+func BenchmarkUpdateThenReadIncremental(b *testing.B) {
+	st := benchStore(b, 50000)
+	p, _ := st.Dict().LookupIRI("p7")
+	pat := Pattern{Wildcard, p, Wildcard}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Add(benchUpdateTriple(st.Dict(), i))
+		_ = st.Count(pat)
+	}
+}
+
+func BenchmarkUpdateThenReadFullRebuild(b *testing.B) {
+	st := benchStore(b, 50000)
+	lt := newLegacyTable()
+	for _, t := range st.Triples() {
+		lt.add(t)
+	}
+	p, _ := st.Dict().LookupIRI("p7")
+	pat := Pattern{Wildcard, p, Wildcard}
+	lt.count(Pattern{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lt.add(benchUpdateTriple(st.Dict(), i))
+		_ = lt.count(pat)
+	}
+}
+
+// BenchmarkRemoveThenReadIncremental is the deletion-side counterpart:
+// tombstone + threshold merge versus what would have been a full rebuild.
+func BenchmarkRemoveThenReadIncremental(b *testing.B) {
+	st := benchStore(b, 50000)
+	p, _ := st.Dict().LookupIRI("p7")
+	pat := Pattern{Wildcard, p, Wildcard}
+	victims := st.Triples()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := victims[i%len(victims)]
+		if st.Remove(tr) {
+			st.Add(tr) // keep the store size stable
+		}
+		_ = st.Count(pat)
 	}
 }

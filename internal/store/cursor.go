@@ -1,0 +1,167 @@
+package store
+
+import "rdfviews/internal/dict"
+
+// Cursor is a streaming iterator over the triples matching a pattern, in the
+// sorted order of one permutation index. It is the scan primitive of the
+// physical operator engine: a pattern whose bound positions form a prefix of
+// the permutation is answered by binary-searched ranges; bound positions
+// beyond the first wildcard are checked as residual filters.
+//
+// A cursor spanning several shards merges their streams, so triples arrive in
+// global permutation order regardless of the shard count. Each shard's
+// snapshot is pinned when the cursor is opened: concurrent Add/Remove calls
+// never invalidate an open cursor — it keeps draining the state it was opened
+// against (isolation is per shard; a multi-shard cursor pins each shard
+// independently, in shard order).
+type Cursor struct {
+	subs     []subCursor
+	heads    []Triple
+	valid    []bool
+	order    [3]int
+	residual [3]ID2 // residual equality checks: (column, value) pairs
+	nres     int
+}
+
+// ID2 pairs a column with a required value for residual filtering.
+type ID2 struct {
+	Col int
+	Val dict.ID
+}
+
+// subCursor streams one shard's snapshot: the remaining base range merged
+// with the remaining overlay range, skipping tombstones.
+type subCursor struct {
+	sn    *snap
+	base  []int32
+	delta []int32
+}
+
+// next pops the sub-cursor's smallest remaining triple in permutation order.
+func (c *subCursor) next(order [3]int) (Triple, bool) {
+	for {
+		var pos int32
+		switch {
+		case len(c.base) == 0 && len(c.delta) == 0:
+			return Triple{}, false
+		case len(c.delta) == 0:
+			pos, c.base = c.base[0], c.base[1:]
+		case len(c.base) == 0:
+			pos, c.delta = c.delta[0], c.delta[1:]
+		default:
+			if permLess(c.sn.triples[c.delta[0]], c.sn.triples[c.base[0]], order) {
+				pos, c.delta = c.delta[0], c.delta[1:]
+			} else {
+				pos, c.base = c.base[0], c.base[1:]
+			}
+		}
+		if len(c.sn.tomb) > 0 && tombHas(c.sn.tomb, pos) {
+			continue
+		}
+		return c.sn.triples[pos], true
+	}
+}
+
+// NewCursor opens a cursor over permutation p for the pattern. The bound
+// pattern positions that form a prefix of p's order are resolved by range
+// lookup; any bound position after a wildcard (in permutation order) is
+// filtered row-by-row. The triples stream in p's global sort order. A
+// subject-bound pattern opens only the owning shard.
+func (st *Store) NewCursor(p Perm, pat Pattern) Cursor {
+	if pat[S] != Wildcard && len(st.shards) > 1 {
+		i := st.shardOf(pat[S])
+		return st.cursorOver(st.shards[i:i+1], p, pat)
+	}
+	return st.cursorOver(st.shards, p, pat)
+}
+
+// ShardCursor opens a cursor over shard i only — the per-partition stream the
+// engine's parallel scan operators fan out over. Shard i's triples stream in
+// p's sort order under the same snapshot isolation as NewCursor.
+func (st *Store) ShardCursor(i int, p Perm, pat Pattern) Cursor {
+	return st.cursorOver(st.shards[i:i+1], p, pat)
+}
+
+func (st *Store) cursorOver(shards []*shard, p Perm, pat Pattern) Cursor {
+	order := perms[p]
+	var prefix []dict.ID
+	k := 0
+	for ; k < 3; k++ {
+		if pat[order[k]] == Wildcard {
+			break
+		}
+		prefix = append(prefix, pat[order[k]])
+	}
+	c := Cursor{order: order}
+	for ; k < 3; k++ {
+		if v := pat[order[k]]; v != Wildcard {
+			c.residual[c.nres] = ID2{Col: order[k], Val: v}
+			c.nres++
+		}
+	}
+	c.subs = make([]subCursor, 0, len(shards))
+	for _, sh := range shards {
+		s := sh.cur.Load()
+		sub := subCursor{sn: s}
+		lo, hi := rangeIn(s.triples, s.base[p], order, prefix)
+		sub.base = s.base[p][lo:hi]
+		lo, hi = rangeIn(s.triples, s.delta[p], order, prefix)
+		sub.delta = s.delta[p][lo:hi]
+		c.subs = append(c.subs, sub)
+	}
+	c.heads = make([]Triple, len(c.subs))
+	c.valid = make([]bool, len(c.subs))
+	for i := range c.subs {
+		c.heads[i], c.valid[i] = c.subs[i].next(order)
+	}
+	return c
+}
+
+// Next returns the next matching triple, in global permutation order.
+func (c *Cursor) Next() (Triple, bool) {
+	for {
+		var t Triple
+		if len(c.subs) == 1 {
+			if !c.valid[0] {
+				return Triple{}, false
+			}
+			t = c.heads[0]
+			c.heads[0], c.valid[0] = c.subs[0].next(c.order)
+		} else {
+			best := -1
+			for i := range c.subs {
+				if c.valid[i] && (best < 0 || permLess(c.heads[i], c.heads[best], c.order)) {
+					best = i
+				}
+			}
+			if best < 0 {
+				return Triple{}, false
+			}
+			t = c.heads[best]
+			c.heads[best], c.valid[best] = c.subs[best].next(c.order)
+		}
+		ok := true
+		for i := 0; i < c.nres; i++ {
+			if t[c.residual[i].Col] != c.residual[i].Val {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return t, true
+		}
+	}
+}
+
+// Remaining returns an upper bound on the triples left to stream (exact when
+// the cursor has no residual filters and its snapshots hold no tombstones).
+func (c *Cursor) Remaining() int {
+	n := 0
+	for i := range c.subs {
+		n += len(c.subs[i].base) + len(c.subs[i].delta)
+		if c.valid[i] {
+			n++
+		}
+	}
+	return n
+}

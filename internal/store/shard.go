@@ -1,0 +1,333 @@
+package store
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rdfviews/internal/dict"
+)
+
+// deltaMax bounds each permutation's sorted insert overlay and the tombstone
+// count before they are merged into the base indexes. The merge is a linear
+// two-way merge (never a re-sort), so maintenance costs O(overlay) per
+// mutation plus an amortized O(N/deltaMax) share of each merge.
+const deltaMax = 512
+
+// snap is one immutable snapshot of a shard: the triple slice, the six base
+// permutation indexes, the six sorted insert overlays and the tombstone
+// bitmap. Readers load a snapshot through an atomic pointer and operate on it
+// lock-free; writers (serialized by the shard mutex) build a new snapshot
+// that shares every unchanged part and publish it with a pointer swap.
+//
+// Positions index into triples. The triple slice is append-only within a
+// snapshot lineage: a writer appends past the end of the newest snapshot's
+// length, which older snapshots never read. Densification starts a fresh
+// lineage.
+type snap struct {
+	triples []Triple
+	live    int // triples minus tombstones
+
+	// Tombstones live in two tiers, mirroring the insert overlays so a
+	// delete costs O(overlay), not O(N). tomb is the small sorted list of
+	// positions removed since the last threshold merge (copied on write,
+	// bounded by deltaMax) — the only deadness base/delta entries can carry,
+	// so index reads check just this list. dead is the cumulative bitmap of
+	// holes folded in at compaction; it is never referenced by the indexes
+	// and only consulted by whole-slice walks (liveTriples, stats,
+	// densification).
+	tomb []int32
+	dead []uint64
+
+	base  [6][]int32 // sorted positions, one index per permutation
+	delta [6][]int32 // small sorted insert overlays, same order
+}
+
+// gone reports whether the position is tombstoned in either tier.
+func (s *snap) gone(pos int32) bool {
+	return isDead(s.dead, pos) || tombHas(s.tomb, pos)
+}
+
+// tombHas binary-searches the sorted tombstone overlay.
+func tombHas(tomb []int32, pos int32) bool {
+	i := sort.Search(len(tomb), func(k int) bool { return tomb[k] >= pos })
+	return i < len(tomb) && tomb[i] == pos
+}
+
+// tombWith returns a fresh sorted overlay with pos added.
+func tombWith(tomb []int32, pos int32) []int32 {
+	i := sort.Search(len(tomb), func(k int) bool { return tomb[k] >= pos })
+	out := make([]int32, len(tomb)+1)
+	copy(out, tomb[:i])
+	out[i] = pos
+	copy(out[i+1:], tomb[i:])
+	return out
+}
+
+// foldTomb folds the overlay into a (copied) cumulative bitmap over n
+// positions.
+func foldTomb(dead []uint64, tomb []int32, n int) []uint64 {
+	if len(tomb) == 0 {
+		return dead
+	}
+	nd := make([]uint64, (n+63)/64)
+	copy(nd, dead)
+	for _, pos := range tomb {
+		nd[pos>>6] |= 1 << (uint(pos) & 63)
+	}
+	return nd
+}
+
+// shard is one hash partition of the store.
+type shard struct {
+	mu      sync.RWMutex     // serializes writers; guards present
+	present map[Triple]int32 // triple -> position (live triples only)
+	cur     atomic.Pointer[snap]
+}
+
+func newShard() *shard {
+	sh := &shard{present: make(map[Triple]int32)}
+	sh.cur.Store(&snap{})
+	return sh
+}
+
+func isDead(dead []uint64, pos int32) bool {
+	w := int(pos >> 6)
+	return w < len(dead) && dead[w]&(1<<(uint(pos)&63)) != 0
+}
+
+// permLess orders triples by the permutation's column order. Distinct triples
+// always compare strictly (the three columns form a total key).
+func permLess(a, b Triple, order [3]int) bool {
+	for _, c := range order {
+		if a[c] != b[c] {
+			return a[c] < b[c]
+		}
+	}
+	return false
+}
+
+// rangeIn returns the half-open [lo, hi) positions in idx whose triples match
+// the bound prefix under the permutation order.
+func rangeIn(triples []Triple, idx []int32, order [3]int, prefix []dict.ID) (int, int) {
+	cmp := func(i int) int {
+		t := triples[idx[i]]
+		for k, want := range prefix {
+			got := t[order[k]]
+			if got < want {
+				return -1
+			}
+			if got > want {
+				return 1
+			}
+		}
+		return 0
+	}
+	lo := sort.Search(len(idx), func(i int) bool { return cmp(i) >= 0 })
+	hi := sort.Search(len(idx), func(i int) bool { return cmp(i) > 0 })
+	return lo, hi
+}
+
+// insert adds the batch's non-duplicate triples, merging their positions into
+// every permutation's overlay, and publishes the new snapshot. It returns the
+// number of triples actually added.
+func (sh *shard) insert(ts []Triple) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := sh.cur.Load()
+	triples := s.triples
+	var fresh []int32
+	for _, t := range ts {
+		if _, ok := sh.present[t]; ok {
+			continue
+		}
+		pos := int32(len(triples))
+		triples = append(triples, t)
+		sh.present[t] = pos
+		fresh = append(fresh, pos)
+	}
+	if len(fresh) == 0 {
+		return 0
+	}
+	ns := &snap{
+		triples: triples,
+		live:    s.live + len(fresh),
+		tomb:    s.tomb,
+		dead:    s.dead,
+		base:    s.base,
+	}
+	for pi := range perms {
+		ns.delta[pi] = mergedDelta(triples, s.delta[pi], fresh, perms[pi])
+	}
+	if len(ns.delta[0]) >= deltaMax || len(ns.tomb) >= deltaMax {
+		ns = compacted(ns, false, sh.present)
+	}
+	sh.cur.Store(ns)
+	return len(fresh)
+}
+
+// mergedDelta returns a fresh sorted overlay holding the old overlay plus the
+// fresh positions (sorted here by the permutation order).
+func mergedDelta(triples []Triple, delta []int32, fresh []int32, order [3]int) []int32 {
+	f := append([]int32(nil), fresh...)
+	sort.Slice(f, func(a, b int) bool {
+		return permLess(triples[f[a]], triples[f[b]], order)
+	})
+	out := make([]int32, 0, len(delta)+len(f))
+	di, fi := 0, 0
+	for di < len(delta) && fi < len(f) {
+		if permLess(triples[f[fi]], triples[delta[di]], order) {
+			out = append(out, f[fi])
+			fi++
+		} else {
+			out = append(out, delta[di])
+			di++
+		}
+	}
+	out = append(out, delta[di:]...)
+	out = append(out, f[fi:]...)
+	return out
+}
+
+// remove tombstones the triple in the small sorted overlay (copied so older
+// snapshots keep reading their own state) and publishes the new snapshot.
+func (sh *shard) remove(t Triple) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	pos, ok := sh.present[t]
+	if !ok {
+		return false
+	}
+	delete(sh.present, t)
+	s := sh.cur.Load()
+	ns := &snap{
+		triples: s.triples,
+		live:    s.live - 1,
+		tomb:    tombWith(s.tomb, pos),
+		dead:    s.dead,
+		base:    s.base,
+		delta:   s.delta,
+	}
+	if len(ns.tomb) >= deltaMax {
+		ns = compacted(ns, false, sh.present)
+	}
+	sh.cur.Store(ns)
+	return true
+}
+
+// compacted merges each permutation's overlay into its base index with a
+// linear two-way merge, dropping tombstoned positions. When the holes
+// outweigh the live triples (or force is set) it also densifies: the triple
+// slice is rewritten without holes, positions are remapped, and present is
+// rebuilt. present may be nil when the caller rebuilds its own map.
+func compacted(s *snap, force bool, present map[Triple]int32) *snap {
+	holes := len(s.triples) - s.live
+	densify := force || (holes > 0 && holes >= s.live)
+	ns := &snap{live: s.live}
+	var remap []int32
+	if densify {
+		remap = make([]int32, len(s.triples))
+		nt := make([]Triple, 0, s.live)
+		for pos := range s.triples {
+			if s.gone(int32(pos)) {
+				remap[pos] = -1
+				continue
+			}
+			remap[pos] = int32(len(nt))
+			nt = append(nt, s.triples[pos])
+		}
+		ns.triples = nt
+		if present != nil {
+			for i, t := range nt {
+				present[t] = int32(i)
+			}
+		}
+	} else {
+		ns.triples = s.triples
+		// Fold the overlay into the cumulative hole bitmap, for liveTriples
+		// and a later densify; the rebuilt indexes reference no dead
+		// positions, so reads stop checking.
+		ns.dead = foldTomb(s.dead, s.tomb, len(s.triples))
+	}
+	for pi := range perms {
+		ns.base[pi] = mergedBase(s, pi, remap)
+	}
+	return ns
+}
+
+// mergedBase linearly merges one permutation's base and overlay, dropping
+// tombstoned positions and applying the densification remap when present.
+// Base and delta entries can only be deadened by the tomb overlay (bitmap
+// holes were dropped when that bitmap was folded), so that is the one check.
+func mergedBase(s *snap, pi int, remap []int32) []int32 {
+	order := perms[pi]
+	base, delta := s.base[pi], s.delta[pi]
+	out := make([]int32, 0, s.live)
+	bi, di := 0, 0
+	for bi < len(base) || di < len(delta) {
+		var pos int32
+		if di >= len(delta) ||
+			(bi < len(base) && !permLess(s.triples[delta[di]], s.triples[base[bi]], order)) {
+			pos = base[bi]
+			bi++
+		} else {
+			pos = delta[di]
+			di++
+		}
+		if tombHas(s.tomb, pos) {
+			continue
+		}
+		if remap != nil {
+			pos = remap[pos]
+		}
+		out = append(out, pos)
+	}
+	return out
+}
+
+// count returns the exact number of triples in the snapshot matching the
+// bound prefix under permutation pi.
+func (s *snap) count(pi int, prefix []dict.ID) int {
+	order := perms[pi]
+	n := 0
+	for _, idx := range [2][]int32{s.base[pi], s.delta[pi]} {
+		lo, hi := rangeIn(s.triples, idx, order, prefix)
+		n += hi - lo
+		if len(s.tomb) > 0 {
+			for i := lo; i < hi; i++ {
+				if tombHas(s.tomb, idx[i]) {
+					n--
+				}
+			}
+		}
+	}
+	return n
+}
+
+// liveTriples returns the snapshot's live triples in position (= insertion)
+// order; the backing slice itself when there are no holes.
+func (s *snap) liveTriples() []Triple {
+	if len(s.triples) == s.live {
+		return s.triples
+	}
+	out := make([]Triple, 0, s.live)
+	for pos, t := range s.triples {
+		if !s.gone(int32(pos)) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// clone returns a fully independent copy of the shard: a densified snapshot
+// sharing no backing arrays with the original, so both sides can keep
+// mutating freely.
+func (sh *shard) clone() *shard {
+	sh.mu.RLock()
+	s := sh.cur.Load()
+	sh.mu.RUnlock()
+	n := &shard{present: make(map[Triple]int32, s.live)}
+	cs := compacted(s, true, n.present)
+	n.cur.Store(cs)
+	return n
+}

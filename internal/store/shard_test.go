@@ -1,0 +1,469 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rdfviews/internal/dict"
+)
+
+// naiveModel mirrors the store with plain Go containers for equivalence
+// checks under interleaved mutation.
+type naiveModel struct {
+	set map[Triple]struct{}
+}
+
+func newNaiveModel() *naiveModel { return &naiveModel{set: make(map[Triple]struct{})} }
+
+func (m *naiveModel) add(t Triple) bool {
+	if _, ok := m.set[t]; ok {
+		return false
+	}
+	m.set[t] = struct{}{}
+	return true
+}
+
+func (m *naiveModel) remove(t Triple) bool {
+	if _, ok := m.set[t]; !ok {
+		return false
+	}
+	delete(m.set, t)
+	return true
+}
+
+func (m *naiveModel) match(pat Pattern) map[Triple]struct{} {
+	out := make(map[Triple]struct{})
+	for t := range m.set {
+		ok := true
+		for c := 0; c < 3; c++ {
+			if pat[c] != Wildcard && t[c] != pat[c] {
+				ok = false
+			}
+		}
+		if ok {
+			out[t] = struct{}{}
+		}
+	}
+	return out
+}
+
+func checkAgainstModel(t *testing.T, st *Store, m *naiveModel, pats []Pattern, ctx string) {
+	t.Helper()
+	if st.Len() != len(m.set) {
+		t.Fatalf("%s: Len = %d, model %d", ctx, st.Len(), len(m.set))
+	}
+	for _, pat := range pats {
+		want := m.match(pat)
+		if got := st.Count(pat); got != len(want) {
+			t.Fatalf("%s: Count(%v) = %d, model %d", ctx, pat, got, len(want))
+		}
+		got := st.Match(pat)
+		if len(got) != len(want) {
+			t.Fatalf("%s: Match(%v) = %d triples, model %d", ctx, pat, len(got), len(want))
+		}
+		for _, tr := range got {
+			if _, ok := want[tr]; !ok {
+				t.Fatalf("%s: Match(%v) returned %v not in model", ctx, pat, tr)
+			}
+		}
+		// Cursor order across shards must stay globally sorted per perm.
+		for p := SPO; p <= OPS; p++ {
+			checkCursor(t, st, p, pat)
+		}
+	}
+}
+
+// TestShardedMatchesModelUnderChurn drives single- and multi-shard stores
+// through interleaved adds and removes — crossing the overlay-merge and
+// densify thresholds — and checks counts, matches and cursor order against a
+// naive model after every phase.
+func TestShardedMatchesModelUnderChurn(t *testing.T) {
+	for _, k := range []int{1, 4} {
+		k := k
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(41 + k)))
+			st := NewSharded(k)
+			if st.NumShards() != k {
+				t.Fatalf("NumShards = %d, want %d", st.NumShards(), k)
+			}
+			m := newNaiveModel()
+			d := st.Dict()
+			subj := make([]dict.ID, 40)
+			for i := range subj {
+				subj[i] = d.EncodeIRI(fmt.Sprintf("s%d", i))
+			}
+			props := make([]dict.ID, 5)
+			for i := range props {
+				props[i] = d.EncodeIRI(fmt.Sprintf("p%d", i))
+			}
+			randTriple := func() Triple {
+				return Triple{
+					subj[rng.Intn(len(subj))],
+					props[rng.Intn(len(props))],
+					subj[rng.Intn(len(subj))],
+				}
+			}
+			pats := []Pattern{
+				{},
+				{subj[0], Wildcard, Wildcard},
+				{Wildcard, props[1], Wildcard},
+				{Wildcard, Wildcard, subj[2]},
+				{subj[3], props[0], Wildcard},
+				{Wildcard, props[2], subj[4]},
+				{subj[5], Wildcard, subj[6]},
+			}
+
+			// Phase 1: bulk inserts past the overlay threshold.
+			for i := 0; i < 2*deltaMax; i++ {
+				tr := randTriple()
+				if st.Add(tr) != m.add(tr) {
+					t.Fatalf("Add(%v) disagreement", tr)
+				}
+			}
+			checkAgainstModel(t, st, m, pats, "after inserts")
+
+			// Phase 2: interleaved adds/removes, enough removes to densify.
+			for i := 0; i < 3*deltaMax; i++ {
+				if rng.Intn(3) == 0 {
+					tr := randTriple()
+					if st.Add(tr) != m.add(tr) {
+						t.Fatalf("Add(%v) disagreement", tr)
+					}
+				} else {
+					tr := randTriple()
+					if st.Remove(tr) != m.remove(tr) {
+						t.Fatalf("Remove(%v) disagreement", tr)
+					}
+				}
+			}
+			checkAgainstModel(t, st, m, pats, "after churn")
+
+			// Phase 3: re-add after delete (tombstone + re-insert of the same
+			// triple must coexist in the overlays).
+			var some []Triple
+			for tr := range m.set {
+				some = append(some, tr)
+				if len(some) == 20 {
+					break
+				}
+			}
+			for _, tr := range some {
+				st.Remove(tr)
+				m.remove(tr)
+				st.Add(tr)
+				m.add(tr)
+			}
+			checkAgainstModel(t, st, m, pats, "after re-adds")
+
+			// DistinctInColumn agrees with a set-based recomputation.
+			for _, pat := range pats {
+				for c := 0; c < 3; c++ {
+					got := st.DistinctInColumn(pat, c)
+					wantSet := make(map[dict.ID]struct{})
+					for tr := range m.match(pat) {
+						wantSet[tr[c]] = struct{}{}
+					}
+					if len(got) != len(wantSet) {
+						t.Fatalf("DistinctInColumn(%v, %d) = %d values, model %d",
+							pat, c, len(got), len(wantSet))
+					}
+					for i := 1; i < len(got); i++ {
+						if got[i-1] >= got[i] {
+							t.Fatalf("DistinctInColumn(%v, %d) not strictly sorted: %v", pat, c, got)
+						}
+					}
+					for _, v := range got {
+						if _, ok := wantSet[v]; !ok {
+							t.Fatalf("DistinctInColumn(%v, %d): %d not in model", pat, c, v)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardTriplesPartition checks the subject-hash partitioning invariants:
+// the shard sections cover the store exactly, and a subject never spans two
+// shards.
+func TestShardTriplesPartition(t *testing.T) {
+	st := randomShardedStore(t, 4, 500, 11)
+	seen := make(map[Triple]int)
+	subjectShard := make(map[dict.ID]int)
+	total := 0
+	for i := 0; i < st.NumShards(); i++ {
+		for _, tr := range st.ShardTriples(i) {
+			if prev, dup := seen[tr]; dup {
+				t.Fatalf("triple %v in shards %d and %d", tr, prev, i)
+			}
+			seen[tr] = i
+			if prev, ok := subjectShard[tr[S]]; ok && prev != i {
+				t.Fatalf("subject %d split across shards %d and %d", tr[S], prev, i)
+			}
+			subjectShard[tr[S]] = i
+			total++
+		}
+	}
+	if total != st.Len() {
+		t.Fatalf("shard sections hold %d triples, Len = %d", total, st.Len())
+	}
+	for _, tr := range st.Triples() {
+		if _, ok := seen[tr]; !ok {
+			t.Fatalf("Triples() returned %v missing from shard sections", tr)
+		}
+	}
+	// Subject-bound lookups are answered by the owning shard alone.
+	for tr := range seen {
+		pat := Pattern{tr[S], Wildcard, Wildcard}
+		if st.Count(pat) != len(st.Match(pat)) {
+			t.Fatalf("subject-bound count/match mismatch for %v", tr)
+		}
+	}
+}
+
+func randomShardedStore(t testing.TB, k, n int, seed int64) *Store {
+	t.Helper()
+	st := NewSharded(k)
+	rng := rand.New(rand.NewSource(seed))
+	d := st.Dict()
+	for st.Len() < n {
+		st.Add(Triple{
+			d.EncodeIRI(fmt.Sprintf("s%d", rng.Intn(n/3+1))),
+			d.EncodeIRI(fmt.Sprintf("p%d", rng.Intn(8))),
+			d.EncodeIRI(fmt.Sprintf("o%d", rng.Intn(n/3+1))),
+		})
+	}
+	return st
+}
+
+// TestCursorSnapshotIsolation pins the new cursor contract: a cursor opened
+// before a batch of mutations — including mutations that cross shard
+// boundaries and trigger threshold merges — drains exactly the state it was
+// opened against.
+func TestCursorSnapshotIsolation(t *testing.T) {
+	for _, k := range []int{1, 4} {
+		k := k
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			st := randomShardedStore(t, k, 400, 7)
+			d := st.Dict()
+			pat := Pattern{}
+			before := st.Match(pat)
+
+			c := st.NewCursor(SPO, pat)
+			// Drain a few triples, then mutate heavily: remove some of the
+			// snapshot's triples, add fresh ones, force merges in every shard.
+			var got []Triple
+			for i := 0; i < 10; i++ {
+				tr, ok := c.Next()
+				if !ok {
+					break
+				}
+				got = append(got, tr)
+			}
+			for i, tr := range before {
+				if i%3 == 0 {
+					st.Remove(tr)
+				}
+			}
+			for i := 0; i < 2*deltaMax; i++ {
+				st.Add(Triple{
+					d.EncodeIRI(fmt.Sprintf("fresh-s%d", i)),
+					d.EncodeIRI("fresh-p"),
+					d.EncodeIRI(fmt.Sprintf("fresh-o%d", i)),
+				})
+			}
+			for {
+				tr, ok := c.Next()
+				if !ok {
+					break
+				}
+				got = append(got, tr)
+			}
+			if len(got) != len(before) {
+				t.Fatalf("cursor drained %d triples, snapshot had %d", len(got), len(before))
+			}
+			want := make(map[Triple]struct{}, len(before))
+			for _, tr := range before {
+				want[tr] = struct{}{}
+			}
+			for _, tr := range got {
+				if _, ok := want[tr]; !ok {
+					t.Fatalf("cursor yielded %v not in its snapshot", tr)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentReadersAndWriters runs lock-free readers (counts, matches,
+// full cursor drains) against a writer mutating all shards. The reader-side
+// invariant: triples under the immutable predicate are never touched by the
+// writer, so every read over it sees exactly the initial extent. Run with
+// -race to check the snapshot handoff.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	st := NewSharded(4)
+	d := st.Dict()
+	stable := d.EncodeIRI("stablePred")
+	churn := d.EncodeIRI("churnPred")
+	for i := 0; i < 300; i++ {
+		st.Add(Triple{d.EncodeIRI(fmt.Sprintf("s%d", i)), stable, d.EncodeIRI(fmt.Sprintf("o%d", i))})
+	}
+	stablePat := Pattern{Wildcard, stable, Wildcard}
+	wantCount := st.Count(stablePat)
+	if wantCount != 300 {
+		t.Fatalf("setup: stable count = %d", wantCount)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch rng.Intn(3) {
+				case 0:
+					if got := st.Count(stablePat); got != wantCount {
+						errs <- fmt.Errorf("reader: Count(stable) = %d, want %d", got, wantCount)
+						return
+					}
+				case 1:
+					if got := len(st.Match(stablePat)); got != wantCount {
+						errs <- fmt.Errorf("reader: Match(stable) = %d, want %d", got, wantCount)
+						return
+					}
+					// Column statistics recompute under churn; concurrent
+					// reads must never tear (regression: stats were read
+					// outside the stats lock).
+					if st.DistinctCount(P) < 1 || st.AvgWidth(P) <= 0 {
+						errs <- fmt.Errorf("reader: degenerate column stats under churn")
+						return
+					}
+				default:
+					c := st.NewCursor(PSO, stablePat)
+					n := 0
+					for {
+						if _, ok := c.Next(); !ok {
+							break
+						}
+						n++
+					}
+					if n != wantCount {
+						errs <- fmt.Errorf("reader: cursor drained %d, want %d", n, wantCount)
+						return
+					}
+				}
+			}
+		}(int64(100 + r))
+	}
+
+	// Writer: heavy churn on the other predicate, across all shards,
+	// crossing merge and densify thresholds.
+	writerRng := rand.New(rand.NewSource(7))
+	for round := 0; round < 3; round++ {
+		var added []Triple
+		for i := 0; i < 2*deltaMax; i++ {
+			tr := Triple{
+				d.EncodeIRI(fmt.Sprintf("c%d-%d", round, writerRng.Intn(2000))),
+				churn,
+				d.EncodeIRI(fmt.Sprintf("v%d", i)),
+			}
+			if st.Add(tr) {
+				added = append(added, tr)
+			}
+		}
+		for _, tr := range added {
+			st.Remove(tr)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if got := st.Count(stablePat); got != wantCount {
+		t.Fatalf("after churn: Count(stable) = %d, want %d", got, wantCount)
+	}
+}
+
+// TestCloneIsIndependent ensures a clone shares no mutable state: both sides
+// mutate freely without observing each other, including past merge
+// thresholds (a shared backing array would corrupt one side).
+func TestCloneIsIndependent(t *testing.T) {
+	st := randomShardedStore(t, 3, 300, 21)
+	before := st.Len()
+	cl := st.Clone()
+	if cl.NumShards() != st.NumShards() || cl.Len() != before {
+		t.Fatalf("clone shape: shards %d/%d len %d/%d", cl.NumShards(), st.NumShards(), cl.Len(), before)
+	}
+	d := st.Dict()
+	for i := 0; i < deltaMax+10; i++ {
+		st.Add(Triple{d.EncodeIRI(fmt.Sprintf("orig%d", i)), d.EncodeIRI("po"), d.EncodeIRI("x")})
+		cl.Add(Triple{d.EncodeIRI(fmt.Sprintf("clone%d", i)), d.EncodeIRI("pc"), d.EncodeIRI("y")})
+	}
+	po, _ := d.LookupIRI("po")
+	pc, _ := d.LookupIRI("pc")
+	if got := cl.Count(Pattern{Wildcard, po, Wildcard}); got != 0 {
+		t.Fatalf("clone sees %d of the original's inserts", got)
+	}
+	if got := st.Count(Pattern{Wildcard, pc, Wildcard}); got != 0 {
+		t.Fatalf("original sees %d of the clone's inserts", got)
+	}
+	if st.Len() != before+deltaMax+10 || cl.Len() != before+deltaMax+10 {
+		t.Fatalf("lens diverged wrong: %d vs %d", st.Len(), cl.Len())
+	}
+}
+
+// TestAddBatchMatchesAddLoop checks the batched ingest path (used by graph
+// loading and snapshot restore) against one-at-a-time adds, duplicates
+// included.
+func TestAddBatchMatchesAddLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mk := func() (*Store, []Triple) {
+		st := NewSharded(4)
+		d := st.Dict()
+		var ts []Triple
+		for i := 0; i < 1500; i++ {
+			ts = append(ts, Triple{
+				d.EncodeIRI(fmt.Sprintf("s%d", rng.Intn(50))),
+				d.EncodeIRI(fmt.Sprintf("p%d", rng.Intn(4))),
+				d.EncodeIRI(fmt.Sprintf("o%d", rng.Intn(50))),
+			})
+		}
+		return st, ts
+	}
+	a, ts := mk()
+	nBatch := a.AddBatch(ts)
+	b := NewWithDictSharded(a.Dict(), 4)
+	nLoop := 0
+	for _, tr := range ts {
+		if b.Add(tr) {
+			nLoop++
+		}
+	}
+	if nBatch != nLoop {
+		t.Fatalf("AddBatch added %d, Add loop %d", nBatch, nLoop)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("Len: %d vs %d", a.Len(), b.Len())
+	}
+	for _, tr := range a.Triples() {
+		if !b.Contains(tr) {
+			t.Fatalf("loop store missing %v", tr)
+		}
+	}
+	if a.AddBatch(ts) != 0 {
+		t.Fatal("re-adding the batch should add nothing")
+	}
+}

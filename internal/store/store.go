@@ -1,12 +1,31 @@
 // Package store implements the dictionary-encoded, fully indexed triple table
 // that the paper uses as its storage layout (Section 6, "Platform and data
-// layout"): one table t(s, p, o) of integer-coded triples, indexed on every
-// column combination. The six sorted permutations (SPO, SOP, PSO, POS, OSP,
-// OPS — the Hexastore scheme of [23]) provide:
+// layout") — grown from a single monolithic table into a hash-partitioned,
+// incrementally maintained shard set:
 //
-//   - exact counts for any triple pattern with 0–3 constants, which is
-//     precisely the statistics-gathering primitive of Section 3.3;
-//   - prefix range scans used by the index-nested-loop query evaluator.
+//   - Triples are routed to K shards by a hash of their subject (K is chosen
+//     at construction; K=1 is the degenerate single-table layout and the
+//     default). All triples sharing a subject land in the same shard, so
+//     subject-bound lookups touch exactly one shard while unbound scans
+//     fan out across all of them — the unit of parallelism the engine's
+//     exchange operators exploit.
+//   - Each shard owns the six sorted permutations of its triples (SPO, SOP,
+//     PSO, POS, OSP, OPS — the Hexastore scheme of [23]). Together they
+//     provide exact counts for any triple pattern with 0–3 constants (the
+//     statistics primitive of Section 3.3) and ordered prefix range scans.
+//   - Index maintenance is incremental. Instead of marking the store dirty
+//     and re-sorting every permutation on the next read (O(N log N) per
+//     touched batch), an insert goes into a small sorted delta overlay per
+//     permutation and a delete sets a tombstone bit; overlays and tombstones
+//     are merged into the base indexes once they pass a threshold, by a
+//     linear merge that never re-sorts.
+//   - Readers are lock-free: every shard publishes an immutable snapshot
+//     (triples, base indexes, delta overlays, tombstones) through an atomic
+//     pointer. Counts, scans and cursors operate on the snapshot they were
+//     opened against, so mutations never invalidate an open cursor — each
+//     cursor drains a consistent per-shard snapshot even while concurrent
+//     writers insert and delete (snapshot isolation is per shard: a cursor
+//     spanning shards pins each shard's snapshot at open time).
 //
 // The store is in-memory. Triples are deduplicated (the paper's Barton
 // dataset was cleaned of duplicates before use).
@@ -14,7 +33,8 @@ package store
 
 import (
 	"fmt"
-	"sort"
+	"sync"
+	"sync/atomic"
 
 	"rdfviews/internal/dict"
 	"rdfviews/internal/rdf"
@@ -121,18 +141,22 @@ func PermFor(bound []int, then int) (Perm, bool) {
 	return SPO, false
 }
 
-// Store is the triple table plus its dictionary and indexes.
-// Create with New, add triples, then query; indexes are (re)built lazily.
+// maxShards caps the shard count; beyond this, per-shard overheads (cursor
+// merging, snapshot bookkeeping) outweigh any parallelism.
+const maxShards = 256
+
+// Store is the sharded triple table plus its dictionary. Create with New (one
+// shard) or NewSharded (K shards), add triples, then query; indexes are
+// maintained incrementally on every mutation.
 type Store struct {
-	dict    *dict.Dictionary
-	triples []Triple
-	present map[Triple]struct{}
+	dict   *dict.Dictionary
+	shards []*shard
 
-	dirty   bool
-	indexes [6][]int32 // positions into triples, sorted by the permutation
-
-	statsOnce bool
-	colStats  [3]columnStats
+	// statsGen counts mutations; colStats are recomputed when stale.
+	statsGen atomic.Uint64
+	statsMu  sync.Mutex
+	statsAt  uint64 // statsGen+1 at last computation; 0 = never computed
+	colStats [3]columnStats
 }
 
 type columnStats struct {
@@ -141,64 +165,120 @@ type columnStats struct {
 	avgLen   float64
 }
 
-// New returns an empty store with a fresh dictionary.
+// New returns an empty single-shard store with a fresh dictionary.
 func New() *Store {
 	return NewWithDict(dict.New())
 }
 
-// NewWithDict returns an empty store sharing an existing dictionary, so its
-// triples are ID-compatible with other stores over the same dictionary
-// (saturated copies, restricted copies, ...).
+// NewWithDict returns an empty single-shard store sharing an existing
+// dictionary, so its triples are ID-compatible with other stores over the
+// same dictionary (saturated copies, restricted copies, ...).
 func NewWithDict(d *dict.Dictionary) *Store {
-	return &Store{
-		dict:    d,
-		present: make(map[Triple]struct{}),
-		dirty:   true,
+	return NewWithDictSharded(d, 1)
+}
+
+// NewSharded returns an empty store hash-partitioned across k shards (by
+// subject). k is clamped to [1, 256]. With k=1 the store behaves exactly like
+// the historical single-table layout.
+func NewSharded(k int) *Store {
+	return NewWithDictSharded(dict.New(), k)
+}
+
+// NewWithDictSharded is NewSharded over an existing dictionary.
+func NewWithDictSharded(d *dict.Dictionary, k int) *Store {
+	if k < 1 {
+		k = 1
 	}
+	if k > maxShards {
+		k = maxShards
+	}
+	st := &Store{dict: d, shards: make([]*shard, k)}
+	for i := range st.shards {
+		st.shards[i] = newShard()
+	}
+	return st
 }
 
 // Dict returns the store's dictionary.
 func (st *Store) Dict() *dict.Dictionary { return st.dict }
 
+// NumShards returns the number of hash partitions.
+func (st *Store) NumShards() int { return len(st.shards) }
+
+// shardOf routes a subject ID to its shard.
+func (st *Store) shardOf(s dict.ID) int {
+	if len(st.shards) == 1 {
+		return 0
+	}
+	h := uint64(s) * 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	return int(h % uint64(len(st.shards)))
+}
+
 // Len returns the number of distinct triples.
-func (st *Store) Len() int { return len(st.triples) }
+func (st *Store) Len() int {
+	n := 0
+	for _, sh := range st.shards {
+		n += sh.cur.Load().live
+	}
+	return n
+}
 
 // Add inserts an encoded triple, ignoring duplicates. It reports whether the
-// triple was new.
+// triple was new. The shard's permutation indexes are updated incrementally.
 func (st *Store) Add(t Triple) bool {
-	if _, ok := st.present[t]; ok {
+	if st.shards[st.shardOf(t[S])].insert([]Triple{t}) == 0 {
 		return false
 	}
-	st.present[t] = struct{}{}
-	st.triples = append(st.triples, t)
-	st.dirty = true
-	st.statsOnce = false
+	st.statsGen.Add(1)
 	return true
+}
+
+// AddBatch inserts many triples at once, ignoring duplicates, and returns the
+// number added. Batching amortizes the per-mutation index maintenance: each
+// shard sorts and merges the whole batch into its overlays in one step.
+func (st *Store) AddBatch(ts []Triple) int {
+	if len(ts) == 0 {
+		return 0
+	}
+	added := 0
+	if len(st.shards) == 1 {
+		added = st.shards[0].insert(ts)
+	} else {
+		groups := make([][]Triple, len(st.shards))
+		for _, t := range ts {
+			i := st.shardOf(t[S])
+			groups[i] = append(groups[i], t)
+		}
+		for i, g := range groups {
+			if len(g) > 0 {
+				added += st.shards[i].insert(g)
+			}
+		}
+	}
+	if added > 0 {
+		st.statsGen.Add(1)
+	}
+	return added
 }
 
 // Contains reports whether the exact triple is present.
 func (st *Store) Contains(t Triple) bool {
-	_, ok := st.present[t]
+	sh := st.shards[st.shardOf(t[S])]
+	sh.mu.RLock()
+	_, ok := sh.present[t]
+	sh.mu.RUnlock()
 	return ok
 }
 
-// Remove deletes a triple, reporting whether it was present. Indexes are
-// rebuilt lazily on the next query.
+// Remove deletes a triple, reporting whether it was present. The triple is
+// tombstoned in its shard's snapshot and physically dropped from the indexes
+// at the next threshold merge.
 func (st *Store) Remove(t Triple) bool {
-	if _, ok := st.present[t]; !ok {
+	if !st.shards[st.shardOf(t[S])].remove(t) {
 		return false
 	}
-	delete(st.present, t)
-	for i, x := range st.triples {
-		if x == t {
-			last := len(st.triples) - 1
-			st.triples[i] = st.triples[last]
-			st.triples = st.triples[:last]
-			break
-		}
-	}
-	st.dirty = true
-	st.statsOnce = false
+	st.statsGen.Add(1)
 	return true
 }
 
@@ -210,16 +290,16 @@ func (st *Store) Encode(t rdf.Triple) Triple {
 // AddGraph loads an rdf.Graph, validating well-formedness. It returns the
 // number of new (non-duplicate) triples added.
 func (st *Store) AddGraph(g rdf.Graph) (int, error) {
-	added := 0
+	batch := make([]Triple, 0, len(g))
 	for _, t := range g {
 		if err := t.Validate(); err != nil {
-			return added, err
+			// Triples before the invalid one are loaded, matching the
+			// historical per-triple behavior.
+			return st.AddBatch(batch), err
 		}
-		if st.Add(st.Encode(t)) {
-			added++
-		}
+		batch = append(batch, st.Encode(t))
 	}
-	return added, nil
+	return st.AddBatch(batch), nil
 }
 
 // MustAddGraph is AddGraph panicking on invalid triples; for tests/examples.
@@ -231,38 +311,25 @@ func (st *Store) MustAddGraph(g rdf.Graph) int {
 	return n
 }
 
-// Triples returns the backing slice of distinct triples in insertion order.
-// The caller must not modify it.
-func (st *Store) Triples() []Triple { return st.triples }
+// Triples returns the distinct triples. With one shard and no pending
+// deletions this is the backing slice in insertion order (the caller must not
+// modify it); otherwise it is a fresh slice, grouped by shard, each shard's
+// section in its insertion order.
+func (st *Store) Triples() []Triple {
+	if len(st.shards) == 1 {
+		return st.shards[0].cur.Load().liveTriples()
+	}
+	out := make([]Triple, 0, st.Len())
+	for _, sh := range st.shards {
+		out = append(out, sh.cur.Load().liveTriples()...)
+	}
+	return out
+}
 
-// build (re)creates the six sorted permutation indexes.
-func (st *Store) build() {
-	if !st.dirty {
-		return
-	}
-	n := len(st.triples)
-	for pi, perm := range perms {
-		// Always sort a fresh slice: a Cursor opened before a mutation holds
-		// the previous index slice, and re-sorting that backing array in
-		// place would scramble the cursor mid-iteration.
-		idx := make([]int32, n)
-		for i := range idx {
-			idx[i] = int32(i)
-		}
-		p0, p1, p2 := perm[0], perm[1], perm[2]
-		sort.Slice(idx, func(a, b int) bool {
-			ta, tb := st.triples[idx[a]], st.triples[idx[b]]
-			if ta[p0] != tb[p0] {
-				return ta[p0] < tb[p0]
-			}
-			if ta[p1] != tb[p1] {
-				return ta[p1] < tb[p1]
-			}
-			return ta[p2] < tb[p2]
-		})
-		st.indexes[pi] = idx
-	}
-	st.dirty = false
+// ShardTriples returns shard i's distinct triples in its insertion order; the
+// per-shard counterpart of Triples, used by the snapshot writer.
+func (st *Store) ShardTriples(i int) []Triple {
+	return st.shards[i].cur.Load().liveTriples()
 }
 
 // indexFor picks the permutation whose prefix covers the bound positions of
@@ -289,132 +356,41 @@ func indexFor(pat Pattern) (int, []dict.ID) {
 	}
 }
 
-// rangeOf returns the half-open [lo, hi) positions in index pi whose triples
-// match the bound prefix.
-func (st *Store) rangeOf(pi int, prefix []dict.ID) (int, int) {
-	idx := st.indexes[pi]
-	perm := perms[pi]
-	cmp := func(i int) int { // triples[idx[i]] vs prefix
-		t := st.triples[idx[i]]
-		for k, want := range prefix {
-			got := t[perm[k]]
-			if got < want {
-				return -1
-			}
-			if got > want {
-				return 1
-			}
-		}
-		return 0
-	}
-	lo := sort.Search(len(idx), func(i int) bool { return cmp(i) >= 0 })
-	hi := sort.Search(len(idx), func(i int) bool { return cmp(i) > 0 })
-	return lo, hi
-}
-
 // Count returns the exact number of triples matching the pattern. This is the
 // primitive behind the paper's statistics: exact counts for atoms with 0, 1,
 // or 2 constants (and 3, although 3-constant atoms are disallowed in views).
+// A subject-bound pattern is answered by a single shard; otherwise the
+// per-shard counts are aggregated.
 func (st *Store) Count(pat Pattern) int {
-	st.build()
 	pi, prefix := indexFor(pat)
 	if prefix == nil {
-		return len(st.triples)
+		return st.Len()
 	}
-	lo, hi := st.rangeOf(pi, prefix)
-	return hi - lo
+	if pat[S] != Wildcard {
+		return st.shards[st.shardOf(pat[S])].cur.Load().count(pi, prefix)
+	}
+	n := 0
+	for _, sh := range st.shards {
+		n += sh.cur.Load().count(pi, prefix)
+	}
+	return n
 }
 
-// Scan visits every triple matching the pattern, in the order of the chosen
-// index, until fn returns false.
+// Scan visits every triple matching the pattern, in the global order of the
+// chosen index (shard streams are merged), until fn returns false.
 func (st *Store) Scan(pat Pattern, fn func(Triple) bool) {
-	st.build()
-	pi, prefix := indexFor(pat)
-	idx := st.indexes[pi]
-	lo, hi := 0, len(idx)
-	if prefix != nil {
-		lo, hi = st.rangeOf(pi, prefix)
-	}
-	for i := lo; i < hi; i++ {
-		if !fn(st.triples[idx[i]]) {
+	pi, _ := indexFor(pat)
+	c := st.NewCursor(Perm(pi), pat)
+	for {
+		t, ok := c.Next()
+		if !ok {
+			return
+		}
+		if !fn(t) {
 			return
 		}
 	}
 }
-
-// Cursor is a streaming iterator over the triples matching a pattern, in the
-// sorted order of one permutation index. It is the scan primitive of the
-// physical operator engine: a pattern whose bound positions form a prefix of
-// the permutation is answered by a binary-searched range; bound positions
-// beyond the first wildcard are checked as residual filters.
-type Cursor struct {
-	st       *Store
-	idx      []int32
-	pos, hi  int
-	residual [3]ID2 // residual equality checks: (column, value) pairs
-	nres     int
-}
-
-// ID2 pairs a column with a required value for residual filtering.
-type ID2 struct {
-	Col int
-	Val dict.ID
-}
-
-// NewCursor opens a cursor over permutation p for the pattern. The bound
-// pattern positions that form a prefix of p's order are resolved by range
-// lookup; any bound position after a wildcard (in permutation order) is
-// filtered row-by-row. The triples stream in p's sort order.
-//
-// Mutating the store (Add, Remove) invalidates open cursors: like any index
-// iterator they must be drained before the next mutation.
-func (st *Store) NewCursor(p Perm, pat Pattern) Cursor {
-	st.build()
-	order := perms[p]
-	var prefix []dict.ID
-	k := 0
-	for ; k < 3; k++ {
-		if pat[order[k]] == Wildcard {
-			break
-		}
-		prefix = append(prefix, pat[order[k]])
-	}
-	c := Cursor{st: st, idx: st.indexes[p]}
-	for ; k < 3; k++ {
-		if v := pat[order[k]]; v != Wildcard {
-			c.residual[c.nres] = ID2{Col: order[k], Val: v}
-			c.nres++
-		}
-	}
-	c.pos, c.hi = 0, len(c.idx)
-	if len(prefix) > 0 {
-		c.pos, c.hi = st.rangeOf(int(p), prefix)
-	}
-	return c
-}
-
-// Next returns the next matching triple, in permutation order.
-func (c *Cursor) Next() (Triple, bool) {
-	for c.pos < c.hi {
-		t := c.st.triples[c.idx[c.pos]]
-		c.pos++
-		ok := true
-		for i := 0; i < c.nres; i++ {
-			if t[c.residual[i].Col] != c.residual[i].Val {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			return t, true
-		}
-	}
-	return Triple{}, false
-}
-
-// Remaining returns an upper bound on the triples left to stream (exact when
-// the cursor has no residual filters).
-func (c *Cursor) Remaining() int { return c.hi - c.pos }
 
 // Match returns all triples matching the pattern.
 func (st *Store) Match(pat Pattern) []Triple {
@@ -426,45 +402,82 @@ func (st *Store) Match(pat Pattern) []Triple {
 	return out
 }
 
-// DistinctInColumn returns the sorted distinct IDs appearing in the column
-// within the triples matching the pattern. With an all-wildcard pattern this
-// is the distinct-value statistic of Section 3.3.
-func (st *Store) DistinctInColumn(pat Pattern, col int) []dict.ID {
-	set := make(map[dict.ID]struct{})
-	st.Scan(pat, func(t Triple) bool {
-		set[t[col]] = struct{}{}
-		return true
-	})
-	out := make([]dict.ID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
+// boundCols returns the bound positions of the pattern.
+func boundCols(pat Pattern) []int {
+	var out []int
+	for c := 0; c < 3; c++ {
+		if pat[c] != Wildcard {
+			out = append(out, c)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// computeColStats fills the per-column statistics (distinct count, min, max,
-// average lexical width) the cost model consumes.
-func (st *Store) computeColStats() {
-	if st.statsOnce {
-		return
+// DistinctInColumn returns the sorted distinct IDs appearing in the column
+// within the triples matching the pattern. With an all-wildcard pattern this
+// is the distinct-value statistic of Section 3.3. It walks the permutation
+// whose sort order lists the pattern's bound columns and then col, so values
+// stream out sorted and deduplicate by adjacency — no set, no re-sort.
+func (st *Store) DistinctInColumn(pat Pattern, col int) []dict.ID {
+	if pat[col] != Wildcard {
+		if st.Count(pat) > 0 {
+			return []dict.ID{pat[col]}
+		}
+		return nil
+	}
+	p, ok := PermFor(boundCols(pat), col)
+	if !ok {
+		return nil
+	}
+	c := st.NewCursor(p, pat)
+	var out []dict.ID
+	for {
+		t, ok := c.Next()
+		if !ok {
+			return out
+		}
+		if v := t[col]; len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+}
+
+// colStatsNow returns the per-column statistics (distinct count, min, max,
+// average lexical width) the cost model consumes, recomputing under the
+// stats lock when a mutation invalidated the cache. The copy is returned
+// while the lock is held, so concurrent recomputation never tears a reader.
+func (st *Store) colStatsNow() [3]columnStats {
+	st.statsMu.Lock()
+	defer st.statsMu.Unlock()
+	gen := st.statsGen.Load() + 1
+	if st.statsAt == gen {
+		return st.colStats
+	}
+	snaps := make([]*snap, len(st.shards))
+	for i, sh := range st.shards {
+		snaps[i] = sh.cur.Load()
 	}
 	for c := 0; c < 3; c++ {
 		set := make(map[dict.ID]struct{})
 		var minID, maxID dict.ID
 		var totalLen int
-		for _, t := range st.triples {
-			id := t[c]
-			if _, ok := set[id]; !ok {
-				set[id] = struct{}{}
-				tm := st.dict.MustDecode(id)
-				totalLen += len(tm.Value)
-			}
-			if minID == 0 || id < minID {
-				minID = id
-			}
-			if id > maxID {
-				maxID = id
+		for _, s := range snaps {
+			for pos, t := range s.triples {
+				if s.gone(int32(pos)) {
+					continue
+				}
+				id := t[c]
+				if _, ok := set[id]; !ok {
+					set[id] = struct{}{}
+					tm := st.dict.MustDecode(id)
+					totalLen += len(tm.Value)
+				}
+				if minID == 0 || id < minID {
+					minID = id
+				}
+				if id > maxID {
+					maxID = id
+				}
 			}
 		}
 		cs := columnStats{distinct: len(set), min: minID, max: maxID}
@@ -475,54 +488,55 @@ func (st *Store) computeColStats() {
 		}
 		st.colStats[c] = cs
 	}
-	st.statsOnce = true
+	st.statsAt = gen
+	return st.colStats
 }
 
 // DistinctCount returns the number of distinct values in the column.
 func (st *Store) DistinctCount(col int) int {
-	st.computeColStats()
-	return st.colStats[col].distinct
+	return st.colStatsNow()[col].distinct
 }
 
 // MinMax returns the smallest and largest ID in the column (0, 0 if empty).
 func (st *Store) MinMax(col int) (dict.ID, dict.ID) {
-	st.computeColStats()
-	return st.colStats[col].min, st.colStats[col].max
+	cs := st.colStatsNow()[col]
+	return cs.min, cs.max
 }
 
 // AvgWidth returns the average lexical width, in bytes, of the distinct
 // values in the column — the "average size of a subject, property,
 // respectively object" of Section 3.3.
 func (st *Store) AvgWidth(col int) float64 {
-	st.computeColStats()
-	return st.colStats[col].avgLen
+	return st.colStatsNow()[col].avgLen
 }
 
-// Clone returns a deep copy of the store sharing the dictionary. It is used
-// to saturate a database without mutating the original (Section 4.2 compares
-// both on equal footing).
+// Clone returns a deep copy of the store sharing the dictionary and shard
+// count. It is used to saturate a database without mutating the original
+// (Section 4.2 compares both on equal footing). The copy shares no mutable
+// state: its shards are compacted, densified rebuilds.
 func (st *Store) Clone() *Store {
-	c := &Store{
-		dict:    st.dict,
-		triples: append([]Triple(nil), st.triples...),
-		present: make(map[Triple]struct{}, len(st.present)),
-		dirty:   true,
-	}
-	for t := range st.present {
-		c.present[t] = struct{}{}
+	c := &Store{dict: st.dict, shards: make([]*shard, len(st.shards))}
+	for i, sh := range st.shards {
+		c.shards[i] = sh.clone()
 	}
 	return c
 }
 
-// Graph decodes the whole store back to an rdf.Graph (insertion order).
+// Graph decodes the whole store back to an rdf.Graph (shard-section order).
 func (st *Store) Graph() rdf.Graph {
-	g := make(rdf.Graph, 0, len(st.triples))
-	for _, t := range st.triples {
-		g = append(g, rdf.Triple{
-			S: st.dict.MustDecode(t[S]),
-			P: st.dict.MustDecode(t[P]),
-			O: st.dict.MustDecode(t[O]),
-		})
+	g := make(rdf.Graph, 0, st.Len())
+	for _, sh := range st.shards {
+		s := sh.cur.Load()
+		for pos, t := range s.triples {
+			if s.gone(int32(pos)) {
+				continue
+			}
+			g = append(g, rdf.Triple{
+				S: st.dict.MustDecode(t[S]),
+				P: st.dict.MustDecode(t[P]),
+				O: st.dict.MustDecode(t[O]),
+			})
+		}
 	}
 	return g
 }

@@ -18,15 +18,21 @@
 //
 // The library is layered as a small database system:
 //
-//   - internal/store holds the dictionary-encoded triple table with its six
-//     sorted permutation indexes (the Hexastore scheme the paper's platform
-//     section assumes) and exposes ordered prefix cursors over them.
+//   - internal/store holds the dictionary-encoded triple table, hash-
+//     partitioned by subject into shards (one by default; see
+//     NewDatabaseSharded), each with its six sorted permutation indexes (the
+//     Hexastore scheme the paper's platform section assumes). Indexes are
+//     maintained incrementally under insert/delete, and ordered prefix
+//     cursors merge the shard streams under per-shard snapshot isolation.
 //   - internal/engine evaluates queries in two stages. A planner compiles
 //     each conjunctive query into a physical plan — permutation-aware index
 //     scans, merge joins when both inputs arrive sorted on the join variable
 //     through a compatible permutation, hash joins otherwise, then
 //     projection and duplicate elimination — choosing the join order from
-//     the same cardinality statistics the cost model uses. A streaming
+//     the same cardinality statistics the cost model uses. Over a sharded
+//     store, large driving scans fan out across the shards through
+//     Gather/ParallelScan exchange operators (an ordered gather when a
+//     downstream merge join consumes the sort order). A streaming
 //     executor then pulls dictionary-encoded tuples through slice-based
 //     variable registers (no per-row maps, no string keys). Rewriting plans
 //     over materialized views execute on an analogous streaming operator
@@ -69,9 +75,20 @@ type Database struct {
 	schema *rdf.Schema
 }
 
-// NewDatabase returns an empty database with an empty schema.
+// NewDatabase returns an empty database with an empty schema, backed by a
+// single-shard store.
 func NewDatabase() *Database {
 	return &Database{st: store.New(), schema: rdf.NewSchema()}
+}
+
+// NewDatabaseSharded returns an empty database whose triple store is
+// hash-partitioned (by subject) across k shards. Sharding parallelizes large
+// scans across cores — the engine fans the driving index scan of a query out
+// over the shards with exchange operators — and bounds the cost of
+// incremental index maintenance to one shard per update. k is clamped to
+// [1, 256]; with k=1 the database behaves exactly like NewDatabase.
+func NewDatabaseSharded(k int) *Database {
+	return &Database{st: store.NewSharded(k), schema: rdf.NewSchema()}
 }
 
 // LoadGraph parses N-Triples-style input (see internal syntax notes: full
