@@ -7,7 +7,8 @@
 //
 //	rdfviews -data data.nt -queries workload.cq [-schema schema.nt] \
 //	         [-strategy dfs] [-reasoning post] [-timeout 10s] [-answer] \
-//	         [-explain-physical] [-shards 4]
+//	         [-explain-physical] [-shards 4] \
+//	         [-updates updates.nt] [-async-maintain 1024] [-stale-reads wait-fresh]
 //
 // The workload file holds one query per line:
 //
@@ -18,12 +19,22 @@
 // the Gather/ParallelScan operators visible under -explain-physical — using
 // one core per shard when available; updates touch only the owning shard's
 // indexes. The default (1) is the classic single-table layout.
+//
+// -updates streams triple updates through the maintained views (one triple
+// per line, inserted; a "- " prefix deletes). -async-maintain N maintains
+// the views asynchronously behind a change queue of depth N: updates return
+// once queued, a background refresher folds them into the extents in
+// batches, and the reported lag/flush numbers show the freshness lifecycle.
+// -stale-reads selects whether -answer serves the last published extents
+// (serve-stale) or flushes first (wait-fresh).
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"rdfviews"
@@ -41,6 +52,9 @@ func main() {
 		maxRows    = flag.Int("maxrows", 10, "max answer rows to print per query")
 		explainPhy = flag.Bool("explain-physical", false, "print the physical plans: view materialization pipelines (scan permutations, joins) and rewriting operator trees")
 		shards     = flag.Int("shards", 1, "hash-partition the triple store across N shards (by subject); >1 parallelizes large scans across cores")
+		updates    = flag.String("updates", "", "stream triple updates through the maintained views: one triple per line inserts, a '- ' prefix deletes")
+		asyncQueue = flag.Int("async-maintain", 0, "maintain views asynchronously behind a change queue of this depth (0 = synchronous maintenance)")
+		staleReads = flag.String("stale-reads", "serve-stale", "answering policy over asynchronously maintained views: serve-stale|wait-fresh")
 	)
 	flag.Parse()
 	if *dataPath == "" || *queryPath == "" {
@@ -97,25 +111,122 @@ func main() {
 		fmt.Print(rec.ExplainPhysical())
 	}
 
-	if *answer {
+	switch {
+	case *updates != "" || *asyncQueue > 0:
+		// Live maintenance path: updates stream through the maintainer and
+		// -answer runs over the maintained (possibly lagging) extents.
+		policy := rdfviews.ServeStale
+		switch *staleReads {
+		case "serve-stale":
+		case "wait-fresh":
+			policy = rdfviews.WaitFresh
+		default:
+			fatal(fmt.Errorf("unknown -stale-reads %q (serve-stale|wait-fresh)", *staleReads))
+		}
+		lv, err := rec.MaintainWithOptions(rdfviews.MaintainOptions{
+			QueueDepth: *asyncQueue,
+			StaleReads: policy,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		mode := "synchronously"
+		if lv.Async() {
+			mode = fmt.Sprintf("asynchronously (queue depth %d, %s reads)", *asyncQueue, policy)
+		}
+		fmt.Printf("\nmaintaining %d views %s: %d rows\n", rec.NumViews(), mode, lv.NumRows())
+		if *updates != "" {
+			if err := streamUpdates(lv, *updates); err != nil {
+				fatal(err)
+			}
+		}
+		if *answer {
+			answerQueries(w.Len(), *maxRows, lv.Answer)
+		}
+		if err := lv.Close(); err != nil {
+			fatal(err)
+		}
+	case *answer:
 		mat, err := rec.Materialize()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("\nmaterialized %d rows (%d bytes)\n", mat.NumRows(), mat.SizeBytes())
-		for i := 0; i < w.Len(); i++ {
-			rows, err := mat.Answer(i)
-			if err != nil {
-				fatal(err)
+		answerQueries(w.Len(), *maxRows, mat.Answer)
+	}
+}
+
+// streamUpdates pushes the file's updates through the live views and prints
+// the freshness lifecycle: stream time, lag at end-of-stream, flush time.
+func streamUpdates(lv *rdfviews.LiveViews, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ins, del := 0, 0
+	start := time.Now()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// A leading +/- is an op marker, never part of a triple: reject a
+		// malformed marker instead of inserting a garbage subject.
+		if strings.HasPrefix(line, "-") {
+			rest, ok := strings.CutPrefix(line, "- ")
+			if !ok {
+				return fmt.Errorf("malformed delete line %q (want '- <triple>')", line)
 			}
-			fmt.Printf("\nq%d: %d answers\n", i+1, len(rows))
-			for j, row := range rows {
-				if j >= *maxRows {
-					fmt.Printf("  ... (%d more)\n", len(rows)-j)
-					break
-				}
-				fmt.Printf("  %v\n", row)
+			if _, err := lv.Delete(rest); err != nil {
+				return err
 			}
+			del++
+			continue
+		}
+		if strings.HasPrefix(line, "+") {
+			rest, ok := strings.CutPrefix(line, "+ ")
+			if !ok {
+				return fmt.Errorf("malformed insert line %q (want '+ <triple>')", line)
+			}
+			line = rest
+		}
+		if _, err := lv.Insert(line); err != nil {
+			return err
+		}
+		ins++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	streamed := time.Since(start)
+	deltas, epochs := lv.Lag()
+	fmt.Printf("streamed %d inserts, %d deletes in %v (lag at end of stream: %d deltas, %d epochs behind)\n",
+		ins, del, streamed.Round(time.Microsecond), deltas, epochs)
+	start = time.Now()
+	if err := lv.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("flushed in %v; views hold %d rows\n", time.Since(start).Round(time.Microsecond), lv.NumRows())
+	return nil
+}
+
+// answerQueries prints every workload query's answers through the given
+// answering surface (materialized or live views).
+func answerQueries(n, maxRows int, answer func(int) ([][]string, error)) {
+	for i := 0; i < n; i++ {
+		rows, err := answer(i)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nq%d: %d answers\n", i+1, len(rows))
+		for j, row := range rows {
+			if j >= maxRows {
+				fmt.Printf("  ... (%d more)\n", len(rows)-j)
+				break
+			}
+			fmt.Printf("  %v\n", row)
 		}
 	}
 }

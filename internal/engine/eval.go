@@ -12,7 +12,7 @@ import (
 // (operators.go). Results are distinct head tuples — the same observable
 // contract as the recursive index-nested-loop evaluator this replaced (kept
 // in inl.go as a baseline).
-func EvalQuery(st *store.Store, q *cq.Query) (*Relation, error) {
+func EvalQuery(st store.Reader, q *cq.Query) (*Relation, error) {
 	p, err := PlanQuery(st, q)
 	if err != nil {
 		return nil, err
@@ -22,7 +22,7 @@ func EvalQuery(st *store.Store, q *cq.Query) (*Relation, error) {
 
 // EvalUCQ evaluates a union of conjunctive queries with set semantics: the
 // distinct union of the members' answers, aligned positionally on the head.
-func EvalUCQ(st *store.Store, u *cq.UCQ) (*Relation, error) {
+func EvalUCQ(st store.Reader, u *cq.UCQ) (*Relation, error) {
 	if u.Len() == 0 {
 		return nil, fmt.Errorf("engine: empty union")
 	}
@@ -47,7 +47,7 @@ func EvalUCQ(st *store.Store, u *cq.UCQ) (*Relation, error) {
 }
 
 // CountQuery returns the number of distinct answers of q on the store.
-func CountQuery(st *store.Store, q *cq.Query) (int, error) {
+func CountQuery(st store.Reader, q *cq.Query) (int, error) {
 	r, err := EvalQuery(st, q)
 	if err != nil {
 		return 0, err
@@ -56,7 +56,7 @@ func CountQuery(st *store.Store, q *cq.Query) (int, error) {
 }
 
 // CountUCQ returns the number of distinct answers of the union on the store.
-func CountUCQ(st *store.Store, u *cq.UCQ) (int, error) {
+func CountUCQ(st store.Reader, u *cq.UCQ) (int, error) {
 	r, err := EvalUCQ(st, u)
 	if err != nil {
 		return 0, err
@@ -66,7 +66,7 @@ func CountUCQ(st *store.Store, u *cq.UCQ) (int, error) {
 
 // Materialize evaluates the view (a conjunctive query) and returns its
 // extension as a relation labeled by the view's head.
-func Materialize(st *store.Store, view *cq.Query) (*Relation, error) {
+func Materialize(st store.Reader, view *cq.Query) (*Relation, error) {
 	return EvalQuery(st, view)
 }
 
@@ -74,6 +74,6 @@ func Materialize(st *store.Store, view *cq.Query) (*Relation, error) {
 // post-reformulation (Section 4.3) are unions of conjunctive queries whose
 // distinct answers on the non-saturated store equal the original view's
 // answers on the saturated one (Theorem 4.2).
-func MaterializeUCQ(st *store.Store, view *cq.UCQ) (*Relation, error) {
+func MaterializeUCQ(st store.Reader, view *cq.UCQ) (*Relation, error) {
 	return EvalUCQ(st, view)
 }

@@ -29,6 +29,16 @@ func newIDTable(sizeHint int) *idTable {
 	}
 }
 
+// clone returns an independent copy of the table.
+func (t *idTable) clone() *idTable {
+	return &idTable{
+		keys: append([]uint64(nil), t.keys...),
+		vals: append([]int32(nil), t.vals...),
+		mask: t.mask,
+		used: t.used,
+	}
+}
+
 func remapZero(h uint64) uint64 {
 	if h == 0 {
 		return 0x9e3779b97f4a7c15

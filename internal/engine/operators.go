@@ -68,7 +68,7 @@ func (a *atomSpec) bindInto(row Row, t store.Triple) bool {
 // scanOp streams one permutation range, binding each matching triple into a
 // fresh register row.
 type scanOp struct {
-	st      *store.Store
+	st      store.Reader
 	spec    *atomSpec
 	width   int
 	started bool
@@ -100,7 +100,7 @@ func (s *scanOp) next() (Row, bool) {
 // produce the full cross-combination.
 type mergeJoinOp struct {
 	left  op
-	st    *store.Store
+	st    store.Reader
 	spec  *atomSpec
 	slot  int // join variable's register slot (left side, sorted)
 	rpos  int // join variable's triple position (right side, sorted)
@@ -174,7 +174,7 @@ func (m *mergeJoinOp) close() { closeOp(m.left) }
 // operator computes the Cartesian product.
 type hashJoinOp struct {
 	left     op
-	st       *store.Store
+	st       store.Reader
 	spec     *atomSpec
 	keySlots []int // probe: register slots of the shared variables
 	keyPos   []int // build: triple positions of the shared variables

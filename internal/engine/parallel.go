@@ -31,7 +31,7 @@ const scanBatchRows = 256
 
 // scanShard streams one shard's matching triples as batches of bound
 // register rows. It returns early when done closes.
-func scanShard(st *store.Store, shard int, spec *atomSpec, width int, out chan<- []Row, done <-chan struct{}) {
+func scanShard(st store.Reader, shard int, spec *atomSpec, width int, out chan<- []Row, done <-chan struct{}) {
 	cur := st.ShardCursor(shard, spec.perm, spec.pat)
 	var batch []Row
 	var buf []dict.ID
@@ -77,7 +77,7 @@ func scanShard(st *store.Store, shard int, spec *atomSpec, width int, out chan<-
 // feeding a single channel; batches surface in whatever order shards produce
 // them.
 type exchangeOp struct {
-	st    *store.Store
+	st    store.Reader
 	spec  *atomSpec
 	width int
 	dop   int
@@ -141,7 +141,7 @@ func (e *exchangeOp) close() {
 // stream arrives in permutation order, picking the minimum head restores the
 // global sort order for downstream merge joins.
 type gatherMergeOp struct {
-	st    *store.Store
+	st    store.Reader
 	spec  *atomSpec
 	width int
 	dop   int

@@ -22,7 +22,7 @@ type Cards interface {
 var _ Cards = (cost.Stats)(nil)
 
 // storeCards answers exact counts from the store's permutation indexes.
-type storeCards struct{ st *store.Store }
+type storeCards struct{ st store.Reader }
 
 func (c storeCards) AtomCount(a cq.Atom) float64 {
 	var pat store.Pattern
@@ -72,7 +72,7 @@ var parallelScanMinRows = 1024.0
 // drops body variables — duplicate elimination. Build with PlanQuery, run
 // with Eval, render with Explain.
 type QueryPlan struct {
-	st         *store.Store
+	st         store.Reader
 	steps      []planStep
 	width      int       // register file width: number of distinct body vars
 	slotTerms  []cq.Term // slot -> variable, the compact numbering
@@ -83,14 +83,14 @@ type QueryPlan struct {
 }
 
 // PlanQuery compiles the query using exact store counts for join ordering.
-func PlanQuery(st *store.Store, q *cq.Query) (*QueryPlan, error) {
+func PlanQuery(st store.Reader, q *cq.Query) (*QueryPlan, error) {
 	return PlanQueryWithStats(st, q, storeCards{st})
 }
 
 // PlanQueryWithStats compiles the query, ordering joins by the provider's
 // cardinalities (greedy: most selective first, preferring atoms connected to
 // the variables already bound).
-func PlanQueryWithStats(st *store.Store, q *cq.Query, cards Cards) (*QueryPlan, error) {
+func PlanQueryWithStats(st store.Reader, q *cq.Query, cards Cards) (*QueryPlan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}

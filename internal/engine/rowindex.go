@@ -119,3 +119,20 @@ func (x *RowIndex) Remove(row Row) bool {
 
 // Len returns the relation's row count.
 func (x *RowIndex) Len() int { return len(x.rel.Rows) }
+
+// Relation returns the indexed relation. Mutate it only through the index.
+func (x *RowIndex) Relation() *Relation { return x.rel }
+
+// Clone returns an independent copy of the index over an independent copy of
+// the relation — the copy-on-write step of atomic extent publication: the
+// async maintainer clones an extent, applies a batch of deltas to the clone,
+// and publishes it with a pointer swap while readers keep draining the
+// original. Row values are shared (rows are never mutated in place), so the
+// copy costs one slice per structure, not one per row.
+func (x *RowIndex) Clone() *RowIndex {
+	rel := &Relation{
+		Cols: x.rel.Cols,
+		Rows: append([]Row(nil), x.rel.Rows...),
+	}
+	return &RowIndex{rel: rel, table: x.table.clone(), next: append([]int32(nil), x.next...)}
+}

@@ -8,10 +8,25 @@
 // joins the paper's model counts). Deleting t− is set-semantics DRed:
 // candidate tuples derived through t− are re-checked against the updated
 // store and removed only when no alternative derivation remains.
+//
+// The maintainer runs in one of two modes, selected by Config.QueueDepth:
+//
+//   - Synchronous (QueueDepth <= 0, the historical behavior and the oracle
+//     of the differential tests): Insert/Delete apply the delta joins inline
+//     before returning, so extents are exact after every call.
+//   - Asynchronous (QueueDepth > 0): Insert/Delete update the base store,
+//     append an encoded delta to a bounded change queue and return. A
+//     background refresher drains the queue in batches, evaluates the delta
+//     queries against the store snapshot aligned with each batch boundary,
+//     and publishes updated extents atomically (copy-on-write RowIndex +
+//     pointer swap), so concurrent readers never observe a half-applied
+//     batch. Flush is the freshness barrier; Lag and the epoch accessors
+//     report how far extents trail the store.
 package maintain
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"rdfviews/internal/algebra"
 	"rdfviews/internal/cq"
@@ -25,82 +40,112 @@ type Maintainer struct {
 	st    *store.Store
 	views map[algebra.ViewID]*cq.Query
 
-	extents map[algebra.ViewID]*extent
+	// cur is the published generation of every extent. The synchronous mode
+	// mutates the current generation in place (single-caller semantics, as
+	// ever); the asynchronous refresher replaces it wholesale, so readers
+	// pinning one load observe a consistent set across views.
+	cur atomic.Pointer[extentSet]
+
+	rf *refresher // nil in synchronous mode
 }
 
-// extent is a relation plus a hashed row index for O(1) membership and
-// swap-deletion — the engine's RowIndex (idTable chains over raw ID words),
-// so delta propagation allocates no per-row string keys.
-type extent struct {
-	rel   *engine.Relation
-	index *engine.RowIndex
+// extentSet is one generation of extents: the extent of every view plus the
+// store epoch the generation corresponds to. Asynchronously published sets
+// are immutable.
+type extentSet struct {
+	epoch   uint64
+	extents map[algebra.ViewID]*engine.RowIndex
 }
 
-func newExtent(rel *engine.Relation) *extent {
-	return &extent{rel: rel, index: engine.NewRowIndex(rel)}
-}
-
-func (e *extent) add(row engine.Row) bool    { return e.index.Add(row) }
-func (e *extent) remove(row engine.Row) bool { return e.index.Remove(row) }
-
-// New materializes every view and returns a maintainer over them. The store
-// must be updated only through the maintainer from then on.
+// New materializes every view and returns a synchronous maintainer over
+// them — Insert/Delete propagate deltas inline. The store must be updated
+// only through the maintainer from then on.
 func New(st *store.Store, views map[algebra.ViewID]*cq.Query) (*Maintainer, error) {
+	return NewWithConfig(st, views, Config{})
+}
+
+// NewWithConfig materializes every view and returns a maintainer in the mode
+// the config selects (synchronous when QueueDepth <= 0, asynchronous
+// otherwise). An asynchronous maintainer owns a background goroutine;
+// release it with Close.
+func NewWithConfig(st *store.Store, views map[algebra.ViewID]*cq.Query, cfg Config) (*Maintainer, error) {
 	m := &Maintainer{
-		st:      st,
-		views:   make(map[algebra.ViewID]*cq.Query, len(views)),
-		extents: make(map[algebra.ViewID]*extent, len(views)),
+		st:    st,
+		views: make(map[algebra.ViewID]*cq.Query, len(views)),
 	}
+	snap := st.Snapshot()
+	exts := make(map[algebra.ViewID]*engine.RowIndex, len(views))
 	for id, v := range views {
 		if err := v.Validate(); err != nil {
 			return nil, fmt.Errorf("maintain: view v%d: %w", int(id), err)
 		}
-		rel, err := engine.Materialize(st, v)
+		rel, err := engine.Materialize(snap, v)
 		if err != nil {
 			return nil, err
 		}
 		m.views[id] = v.Clone()
-		m.extents[id] = newExtent(rel)
+		exts[id] = engine.NewRowIndex(rel)
+	}
+	m.cur.Store(&extentSet{epoch: snap.Epoch(), extents: exts})
+	if cfg.QueueDepth > 0 {
+		m.rf = newRefresher(m, cfg, snap)
 	}
 	return m, nil
 }
 
+// Async reports whether the maintainer refreshes extents in the background.
+func (m *Maintainer) Async() bool { return m.rf != nil }
+
 // Extent returns the current materialization of a view. The caller must not
-// modify it.
+// modify it; in asynchronous mode it is an immutable published generation
+// that may trail the store until the next Flush.
 func (m *Maintainer) Extent(id algebra.ViewID) (*engine.Relation, bool) {
-	e, ok := m.extents[id]
+	x, ok := m.cur.Load().extents[id]
 	if !ok {
 		return nil, false
 	}
-	return e.rel, true
+	return x.Relation(), true
 }
 
-// Resolver adapts the maintainer to plan execution.
+// Resolver adapts the maintainer to plan execution. The generation of
+// extents is pinned when Resolver is called, so one plan execution sees a
+// consistent set across every view it scans.
 func (m *Maintainer) Resolver() engine.ViewResolver {
+	es := m.cur.Load()
 	return func(id algebra.ViewID) (*engine.Relation, error) {
-		e, ok := m.extents[id]
+		x, ok := es.extents[id]
 		if !ok {
 			return nil, fmt.Errorf("maintain: unknown view v%d", int(id))
 		}
-		return e.rel, nil
+		return x.Relation(), nil
 	}
 }
 
 // Insert adds the triple to the store and propagates the delta to every
-// view. It returns the number of view tuples added.
+// view. Synchronously it returns the number of view tuples added;
+// asynchronously the delta is queued (blocking when the queue is full) and
+// the count is reported as 0, since propagation has not happened yet. An
+// asynchronous nil return means "applied to the store and queued", not
+// "folded into extents": a later refresher failure freezes the extents at
+// their last published generation and surfaces through Flush, Close and
+// every subsequent update call.
 func (m *Maintainer) Insert(t store.Triple) (int, error) {
+	if m.rf != nil {
+		return 0, m.rf.enqueue(opInsert, t)
+	}
 	if !m.st.Add(t) {
 		return 0, nil // duplicate: no deltas under set semantics
 	}
 	added := 0
+	es := m.cur.Load()
 	for id, v := range m.views {
-		ext := m.extents[id]
-		rows, err := m.deltaRows(v, t)
+		ext := es.extents[id]
+		rows, err := m.deltaRows(m.st, v, t)
 		if err != nil {
 			return added, err
 		}
 		for _, row := range rows {
-			if ext.add(row) {
+			if ext.Add(row) {
 				added++
 			}
 		}
@@ -110,15 +155,19 @@ func (m *Maintainer) Insert(t store.Triple) (int, error) {
 
 // Delete removes the triple from the store and propagates the deletion:
 // candidate tuples (those with a derivation through the deleted triple) are
-// kept only if they can be re-derived from the remaining triples.
+// kept only if they can be re-derived from the remaining triples. The return
+// count follows the same mode convention as Insert.
 func (m *Maintainer) Delete(t store.Triple) (int, error) {
+	if m.rf != nil {
+		return 0, m.rf.enqueue(opDelete, t)
+	}
 	if !m.st.Contains(t) {
 		return 0, nil
 	}
 	// Candidates are computed against the store still containing t.
 	candidates := make(map[algebra.ViewID][]engine.Row, len(m.views))
 	for id, v := range m.views {
-		rows, err := m.deltaRows(v, t)
+		rows, err := m.deltaRows(m.st, v, t)
 		if err != nil {
 			return 0, err
 		}
@@ -126,15 +175,16 @@ func (m *Maintainer) Delete(t store.Triple) (int, error) {
 	}
 	m.st.Remove(t)
 	removed := 0
+	es := m.cur.Load()
 	for id, rows := range candidates {
 		v := m.views[id]
-		ext := m.extents[id]
+		ext := es.extents[id]
 		for _, row := range rows {
-			derivable, err := m.rederivable(v, row)
+			derivable, err := m.rederivable(m.st, v, row)
 			if err != nil {
 				return removed, err
 			}
-			if !derivable && ext.remove(row) {
+			if !derivable && ext.Remove(row) {
 				removed++
 			}
 		}
@@ -142,9 +192,69 @@ func (m *Maintainer) Delete(t store.Triple) (int, error) {
 	return removed, nil
 }
 
-// deltaRows evaluates the delta of view v for triple t: the union over atoms
-// of v unifying with t of the view with that atom's variables bound.
-func (m *Maintainer) deltaRows(v *cq.Query, t store.Triple) ([]engine.Row, error) {
+// Flush blocks until every delta enqueued before the call has been folded
+// into published extents, then reports any refresher error. In synchronous
+// mode extents are always exact and Flush returns immediately.
+func (m *Maintainer) Flush() error {
+	if m.rf == nil {
+		return nil
+	}
+	return m.rf.flush()
+}
+
+// Lag returns the number of queued deltas not yet folded into published
+// extents (0 in synchronous mode).
+func (m *Maintainer) Lag() int {
+	if m.rf == nil {
+		return 0
+	}
+	return int(m.rf.pending.Load())
+}
+
+// AppliedEpoch returns the store epoch the published extents correspond to.
+func (m *Maintainer) AppliedEpoch() uint64 {
+	if m.rf == nil {
+		return m.st.Epoch()
+	}
+	return m.cur.Load().epoch
+}
+
+// LatestEpoch returns the newest store epoch assigned to a maintained delta.
+func (m *Maintainer) LatestEpoch() uint64 {
+	if m.rf == nil {
+		return m.st.Epoch()
+	}
+	return m.rf.latest.Load()
+}
+
+// EpochsBehind returns how many store epochs the published extents trail the
+// newest maintained delta (0 in synchronous mode).
+func (m *Maintainer) EpochsBehind() uint64 {
+	if m.rf == nil {
+		return 0
+	}
+	applied := m.cur.Load().epoch
+	if latest := m.rf.latest.Load(); latest > applied {
+		return latest - applied
+	}
+	return 0
+}
+
+// Close flushes the change queue, stops the background refresher and reports
+// any refresher error. Further Insert/Delete calls fail. Synchronous
+// maintainers have nothing to release; Close is a no-op for them.
+func (m *Maintainer) Close() error {
+	if m.rf == nil {
+		return nil
+	}
+	return m.rf.close()
+}
+
+// deltaRows evaluates the delta of view v for triple t against the reader:
+// the union over atoms of v unifying with t of the view with that atom's
+// variables bound. The reader is the live store in synchronous mode and a
+// batch-aligned snapshot in asynchronous mode.
+func (m *Maintainer) deltaRows(r store.Reader, v *cq.Query, t store.Triple) ([]engine.Row, error) {
 	seen := engine.NewRowSet(8)
 	var out []engine.Row
 	for i := range v.Atoms {
@@ -152,7 +262,7 @@ func (m *Maintainer) deltaRows(v *cq.Query, t store.Triple) ([]engine.Row, error
 		if !ok {
 			continue
 		}
-		rel, err := engine.EvalQuery(m.st, qb)
+		rel, err := engine.EvalQuery(r, qb)
 		if err != nil {
 			return nil, err
 		}
@@ -195,8 +305,8 @@ func bindAtom(v *cq.Query, i int, t store.Triple) (*cq.Query, bool) {
 }
 
 // rederivable reports whether the view still derives the tuple from the
-// current store: the view with its head bound to the tuple has an answer.
-func (m *Maintainer) rederivable(v *cq.Query, row engine.Row) (bool, error) {
+// reader's state: the view with its head bound to the tuple has an answer.
+func (m *Maintainer) rederivable(r store.Reader, v *cq.Query, row engine.Row) (bool, error) {
 	q := v
 	for i, h := range v.Head {
 		if h.IsVar() {
@@ -205,18 +315,18 @@ func (m *Maintainer) rederivable(v *cq.Query, row engine.Row) (bool, error) {
 			return false, nil
 		}
 	}
-	rel, err := engine.EvalQuery(m.st, q)
+	rel, err := engine.EvalQuery(r, q)
 	if err != nil {
 		return false, err
 	}
 	return rel.Len() > 0, nil
 }
 
-// NumRows returns the total tuples across all extents.
+// NumRows returns the total tuples across all published extents.
 func (m *Maintainer) NumRows() int {
 	n := 0
-	for _, e := range m.extents {
-		n += e.rel.Len()
+	for _, x := range m.cur.Load().extents {
+		n += x.Len()
 	}
 	return n
 }

@@ -70,19 +70,30 @@ func (c *subCursor) next(order [3]int) (Triple, bool) {
 func (st *Store) NewCursor(p Perm, pat Pattern) Cursor {
 	if pat[S] != Wildcard && len(st.shards) > 1 {
 		i := st.shardOf(pat[S])
-		return st.cursorOver(st.shards[i:i+1], p, pat)
+		return cursorOverSnaps(st.loadSnaps(st.shards[i:i+1]), p, pat)
 	}
-	return st.cursorOver(st.shards, p, pat)
+	return cursorOverSnaps(st.loadSnaps(st.shards), p, pat)
 }
 
 // ShardCursor opens a cursor over shard i only — the per-partition stream the
 // engine's parallel scan operators fan out over. Shard i's triples stream in
 // p's sort order under the same snapshot isolation as NewCursor.
 func (st *Store) ShardCursor(i int, p Perm, pat Pattern) Cursor {
-	return st.cursorOver(st.shards[i:i+1], p, pat)
+	return cursorOverSnaps(st.loadSnaps(st.shards[i:i+1]), p, pat)
 }
 
-func (st *Store) cursorOver(shards []*shard, p Perm, pat Pattern) Cursor {
+// loadSnaps pins the current snapshot of each shard.
+func (st *Store) loadSnaps(shards []*shard) []*snap {
+	snaps := make([]*snap, len(shards))
+	for i, sh := range shards {
+		snaps[i] = sh.cur.Load()
+	}
+	return snaps
+}
+
+// cursorOverSnaps opens a cursor over a fixed set of pinned shard snapshots —
+// the shared implementation behind the live store's cursors and a Snapshot's.
+func cursorOverSnaps(snaps []*snap, p Perm, pat Pattern) Cursor {
 	order := perms[p]
 	var prefix []dict.ID
 	k := 0
@@ -99,9 +110,8 @@ func (st *Store) cursorOver(shards []*shard, p Perm, pat Pattern) Cursor {
 			c.nres++
 		}
 	}
-	c.subs = make([]subCursor, 0, len(shards))
-	for _, sh := range shards {
-		s := sh.cur.Load()
+	c.subs = make([]subCursor, 0, len(snaps))
+	for _, s := range snaps {
 		sub := subCursor{sn: s}
 		lo, hi := rangeIn(s.triples, s.base[p], order, prefix)
 		sub.base = s.base[p][lo:hi]

@@ -1,0 +1,119 @@
+package store
+
+import "rdfviews/internal/dict"
+
+// Snapshot is an immutable point-in-time view of the whole store: every
+// shard's published snapshot, pinned together and tagged with the store epoch
+// they were captured at. Because shards publish immutable state through
+// atomic pointers, capturing a Snapshot copies K pointers — no triples, no
+// indexes — and the pinned state stays readable forever, regardless of later
+// mutations, compactions or densifications.
+//
+// A Snapshot satisfies Reader, so queries planned and evaluated against it
+// see exactly the store state of its epoch. This is the primitive the async
+// view maintainer batches on: delta queries for a batch of updates run
+// against the snapshot aligned with the batch boundary, never against a
+// store that has raced ahead.
+//
+// Consistency across shards is the caller's concern: a Snapshot captured
+// while writers are mid-flight pins each shard independently (the same
+// per-shard isolation a multi-shard Cursor has always had). Callers that
+// need a cross-shard-consistent cut (the maintainer) capture under their own
+// write serialization.
+type Snapshot struct {
+	st    *Store
+	snaps []*snap
+	epoch uint64
+}
+
+var _ Reader = (*Snapshot)(nil)
+
+// Snapshot pins the current state of every shard. The epoch tag is read
+// before the shard pointers, so under concurrent writers it is a lower bound
+// on the pinned state; captured under the caller's write serialization it is
+// exact.
+func (st *Store) Snapshot() *Snapshot {
+	s := &Snapshot{st: st, epoch: st.epoch.Load()}
+	s.snaps = st.loadSnaps(st.shards)
+	return s
+}
+
+// Epoch returns the store epoch the snapshot was captured at.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// NumShards returns the number of hash partitions.
+func (s *Snapshot) NumShards() int { return len(s.snaps) }
+
+// Len returns the number of distinct triples in the snapshot.
+func (s *Snapshot) Len() int {
+	n := 0
+	for _, sn := range s.snaps {
+		n += sn.live
+	}
+	return n
+}
+
+// Count returns the exact number of snapshot triples matching the pattern,
+// answered from the pinned permutation indexes exactly like Store.Count.
+func (s *Snapshot) Count(pat Pattern) int {
+	pi, prefix := indexFor(pat)
+	if prefix == nil {
+		return s.Len()
+	}
+	if pat[S] != Wildcard {
+		return s.snaps[s.st.shardOf(pat[S])].count(pi, prefix)
+	}
+	n := 0
+	for _, sn := range s.snaps {
+		n += sn.count(pi, prefix)
+	}
+	return n
+}
+
+// Contains reports whether the exact triple is present in the snapshot: a
+// full-prefix lookup in the pinned SPO index (the live store's present map
+// reflects later mutations, so it cannot be consulted here).
+func (s *Snapshot) Contains(t Triple) bool {
+	prefix := []dict.ID{t[S], t[P], t[O]}
+	return s.snaps[s.st.shardOf(t[S])].count(int(SPO), prefix) > 0
+}
+
+// NewCursor opens a cursor over the pinned snapshot (see Store.NewCursor).
+func (s *Snapshot) NewCursor(p Perm, pat Pattern) Cursor {
+	if pat[S] != Wildcard && len(s.snaps) > 1 {
+		i := s.st.shardOf(pat[S])
+		return cursorOverSnaps(s.snaps[i:i+1], p, pat)
+	}
+	return cursorOverSnaps(s.snaps, p, pat)
+}
+
+// ShardCursor opens a cursor over pinned shard i only.
+func (s *Snapshot) ShardCursor(i int, p Perm, pat Pattern) Cursor {
+	return cursorOverSnaps(s.snaps[i:i+1], p, pat)
+}
+
+// Scan visits every snapshot triple matching the pattern in the order of the
+// chosen index, until fn returns false.
+func (s *Snapshot) Scan(pat Pattern, fn func(Triple) bool) {
+	pi, _ := indexFor(pat)
+	c := s.NewCursor(Perm(pi), pat)
+	for {
+		t, ok := c.Next()
+		if !ok {
+			return
+		}
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Match returns all snapshot triples matching the pattern.
+func (s *Snapshot) Match(pat Pattern) []Triple {
+	out := make([]Triple, 0, 16)
+	s.Scan(pat, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,139 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"rdfviews/internal/rdf"
+)
+
+// TestSnapshotPinsState: a snapshot keeps answering from the state it was
+// captured at while the live store moves on, across inserts, deletes and
+// threshold compactions.
+func TestSnapshotPinsState(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		st := NewSharded(shards)
+		st.MustAddGraph(rdf.MustParse(`
+a p b .
+a p c .
+b q c .
+`))
+		snap := st.Snapshot()
+		if snap.Epoch() != st.Epoch() {
+			t.Fatalf("shards=%d: snapshot epoch %d, store %d", shards, snap.Epoch(), st.Epoch())
+		}
+		if snap.Len() != 3 {
+			t.Fatalf("shards=%d: snapshot len %d", shards, snap.Len())
+		}
+		aID := st.Dict().Encode(rdf.NewIRI("a"))
+		pID := st.Dict().Encode(rdf.NewIRI("p"))
+		if got := snap.Count(Pattern{S: aID, P: pID}); got != 2 {
+			t.Fatalf("shards=%d: count = %d, want 2", shards, got)
+		}
+		old := st.Encode(rdf.T("a", "p", "b"))
+		if !snap.Contains(old) {
+			t.Fatalf("shards=%d: snapshot should contain a p b", shards)
+		}
+
+		// Churn the live store well past the compaction threshold.
+		st.Remove(old)
+		for i := 0; i < 2*deltaMax; i++ {
+			st.Add(st.Encode(rdf.T("a", "p", fmt.Sprintf("fill%d", i))))
+		}
+		if snap.Len() != 3 || !snap.Contains(old) {
+			t.Fatalf("shards=%d: snapshot changed under mutation: len=%d", shards, snap.Len())
+		}
+		if got := snap.Count(Pattern{S: aID, P: pID}); got != 2 {
+			t.Fatalf("shards=%d: pinned count = %d, want 2", shards, got)
+		}
+		if got := len(snap.Match(Pattern{})); got != 3 {
+			t.Fatalf("shards=%d: pinned match = %d triples, want 3", shards, got)
+		}
+		if st.Epoch() <= snap.Epoch() {
+			t.Fatalf("shards=%d: store epoch %d did not advance past snapshot %d", shards, st.Epoch(), snap.Epoch())
+		}
+
+		// A fresh snapshot sees the new state.
+		now := st.Snapshot()
+		if now.Len() != st.Len() || now.Contains(old) {
+			t.Fatalf("shards=%d: fresh snapshot len=%d (store %d), contains removed=%v",
+				shards, now.Len(), st.Len(), now.Contains(old))
+		}
+	}
+}
+
+// TestSnapshotCursorOrder: snapshot cursors stream in permutation order and
+// agree with the live store before any divergence.
+func TestSnapshotCursorOrder(t *testing.T) {
+	st := NewSharded(3)
+	st.MustAddGraph(rdf.MustParse(`
+a p x .
+b p y .
+c p z .
+b q x .
+`))
+	snap := st.Snapshot()
+	pID := st.Dict().Encode(rdf.NewIRI("p"))
+	var fromSnap, fromStore []Triple
+	c := snap.NewCursor(PSO, Pattern{P: pID})
+	for {
+		tr, ok := c.Next()
+		if !ok {
+			break
+		}
+		fromSnap = append(fromSnap, tr)
+	}
+	c = st.NewCursor(PSO, Pattern{P: pID})
+	for {
+		tr, ok := c.Next()
+		if !ok {
+			break
+		}
+		fromStore = append(fromStore, tr)
+	}
+	if len(fromSnap) != 3 || len(fromSnap) != len(fromStore) {
+		t.Fatalf("snapshot cursor saw %d triples, store %d", len(fromSnap), len(fromStore))
+	}
+	for i := range fromSnap {
+		if fromSnap[i] != fromStore[i] {
+			t.Fatalf("order diverges at %d: %v vs %v", i, fromSnap[i], fromStore[i])
+		}
+		if i > 0 && !permLess(fromSnap[i-1], fromSnap[i], perms[PSO]) {
+			t.Fatalf("snapshot cursor out of order at %d", i)
+		}
+	}
+	// Epoch is monotone across captures.
+	if st.Snapshot().Epoch() < snap.Epoch() {
+		t.Fatal("epoch went backwards")
+	}
+}
+
+// TestEpochCountsMutations pins the epoch contract: one tick per triple
+// added or removed, none for no-ops.
+func TestEpochCountsMutations(t *testing.T) {
+	st := New()
+	if st.Epoch() != 0 {
+		t.Fatalf("fresh epoch = %d", st.Epoch())
+	}
+	tr := st.Encode(rdf.T("a", "p", "b"))
+	st.Add(tr)
+	if st.Epoch() != 1 {
+		t.Fatalf("after add: %d", st.Epoch())
+	}
+	st.Add(tr) // duplicate
+	if st.Epoch() != 1 {
+		t.Fatalf("duplicate add ticked epoch: %d", st.Epoch())
+	}
+	st.AddBatch([]Triple{tr, st.Encode(rdf.T("a", "p", "c")), st.Encode(rdf.T("a", "p", "d"))})
+	if st.Epoch() != 3 { // one duplicate in the batch
+		t.Fatalf("after batch: %d", st.Epoch())
+	}
+	st.Remove(tr)
+	if st.Epoch() != 4 {
+		t.Fatalf("after remove: %d", st.Epoch())
+	}
+	st.Remove(tr) // absent
+	if st.Epoch() != 4 {
+		t.Fatalf("absent remove ticked epoch: %d", st.Epoch())
+	}
+}

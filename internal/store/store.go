@@ -145,6 +145,26 @@ func PermFor(bound []int, then int) (Perm, bool) {
 // merging, snapshot bookkeeping) outweigh any parallelism.
 const maxShards = 256
 
+// Reader is the read-only query surface shared by the live *Store and an
+// immutable *Snapshot: the primitives the query engine scans and counts
+// through. Code that only reads (planning, evaluation, delta propagation)
+// should accept a Reader, so it runs identically against the live store and
+// against a pinned point-in-time snapshot.
+type Reader interface {
+	// NumShards returns the number of hash partitions.
+	NumShards() int
+	// Len returns the number of distinct live triples.
+	Len() int
+	// Count returns the exact number of triples matching the pattern.
+	Count(pat Pattern) int
+	// Contains reports whether the exact triple is present.
+	Contains(t Triple) bool
+	// NewCursor opens an ordered prefix-range cursor (see Store.NewCursor).
+	NewCursor(p Perm, pat Pattern) Cursor
+	// ShardCursor opens a cursor over one shard only (see Store.ShardCursor).
+	ShardCursor(i int, p Perm, pat Pattern) Cursor
+}
+
 // Store is the sharded triple table plus its dictionary. Create with New (one
 // shard) or NewSharded (K shards), add triples, then query; indexes are
 // maintained incrementally on every mutation.
@@ -152,12 +172,19 @@ type Store struct {
 	dict   *dict.Dictionary
 	shards []*shard
 
+	// epoch counts successful mutations (one per triple added or removed).
+	// Snapshots are tagged with the epoch they were captured at, giving the
+	// async view maintainer its freshness ordering.
+	epoch atomic.Uint64
+
 	// statsGen counts mutations; colStats are recomputed when stale.
 	statsGen atomic.Uint64
 	statsMu  sync.Mutex
 	statsAt  uint64 // statsGen+1 at last computation; 0 = never computed
 	colStats [3]columnStats
 }
+
+var _ Reader = (*Store)(nil)
 
 type columnStats struct {
 	distinct int
@@ -230,6 +257,7 @@ func (st *Store) Add(t Triple) bool {
 	if st.shards[st.shardOf(t[S])].insert([]Triple{t}) == 0 {
 		return false
 	}
+	st.epoch.Add(1)
 	st.statsGen.Add(1)
 	return true
 }
@@ -257,6 +285,7 @@ func (st *Store) AddBatch(ts []Triple) int {
 		}
 	}
 	if added > 0 {
+		st.epoch.Add(uint64(added))
 		st.statsGen.Add(1)
 	}
 	return added
@@ -278,9 +307,15 @@ func (st *Store) Remove(t Triple) bool {
 	if !st.shards[st.shardOf(t[S])].remove(t) {
 		return false
 	}
+	st.epoch.Add(1)
 	st.statsGen.Add(1)
 	return true
 }
+
+// Epoch returns the store's mutation counter: it advances by one for every
+// triple successfully added or removed. Snapshots carry the epoch they were
+// captured at.
+func (st *Store) Epoch() uint64 { return st.epoch.Load() }
 
 // Encode encodes an rdf.Triple with the store's dictionary.
 func (st *Store) Encode(t rdf.Triple) Triple {

@@ -8,25 +8,72 @@ import (
 	"rdfviews/internal/rdf"
 )
 
+// StaleReadPolicy selects what query execution over view extents does when
+// asynchronous maintenance has pending deltas.
+type StaleReadPolicy int
+
+const (
+	// ServeStale answers from the last published extent generation — reads
+	// never wait, but may trail the store by up to Lag() deltas.
+	ServeStale StaleReadPolicy = iota
+	// WaitFresh flushes the change queue before answering, so every answer
+	// reflects all updates applied before the query.
+	WaitFresh
+)
+
+// String returns "serve-stale" or "wait-fresh".
+func (p StaleReadPolicy) String() string {
+	if p == WaitFresh {
+		return "wait-fresh"
+	}
+	return "serve-stale"
+}
+
+// MaintainOptions configures how the live view set is maintained.
+type MaintainOptions struct {
+	// QueueDepth > 0 maintains views asynchronously behind a bounded change
+	// queue of that capacity: updates return once the base store is updated
+	// and the delta is queued, and a background refresher folds batches into
+	// the extents. 0 (the default) keeps maintenance synchronous — every
+	// update propagates before returning, the exact historical semantics.
+	QueueDepth int
+	// BatchMax caps deltas per background refresh batch (0 = default 256).
+	BatchMax int
+	// StaleReads is consulted by Answer when maintenance is asynchronous.
+	StaleReads StaleReadPolicy
+}
+
 // LiveViews is a materialized view set under incremental maintenance: triple
 // insertions and deletions applied through it update both the database and
 // every view extent, by delta propagation rather than recomputation — the
 // operation whose cost the VMC component of the cost function models
-// (Section 3.3).
+// (Section 3.3). With MaintainOptions.QueueDepth > 0 the propagation runs in
+// a background refresher behind a change queue; Flush, Lag and the
+// StaleReadPolicy govern freshness.
 type LiveViews struct {
-	rec *Recommendation
-	m   *maintain.Maintainer
+	rec   *Recommendation
+	m     *maintain.Maintainer
+	stale StaleReadPolicy
 }
 
-// Maintain materializes the recommended views under incremental maintenance.
-// Supported for ReasoningNone and ReasoningSaturate (under saturation, the
-// maintained store is the saturated copy, and updates are interpreted as
-// updates to it); the reformulation modes keep views virtual-by-reformulation
-// and are refreshed by re-materializing (use Materialize again), as
-// maintaining reformulated views incrementally is future work in the paper
-// too ("the maintenance of a saturated database ... may be complex and
-// costly", Section 4.2).
+// Maintain materializes the recommended views under synchronous incremental
+// maintenance. Supported for ReasoningNone, ReasoningSaturate (under
+// saturation, the maintained store is the saturated copy, and updates are
+// interpreted as updates to it) and ReasoningPre (pre-reformulation views
+// are plain conjunctive queries over the original store, so they maintain
+// directly). Only ReasoningPost is rejected: its views stay
+// virtual-by-reformulation and are refreshed by re-materializing (use
+// Materialize again), as maintaining reformulated views incrementally is
+// future work in the paper too ("the maintenance of a saturated database ...
+// may be complex and costly", Section 4.2).
 func (r *Recommendation) Maintain() (*LiveViews, error) {
+	return r.MaintainWithOptions(MaintainOptions{})
+}
+
+// MaintainWithOptions is Maintain with explicit maintenance options; the
+// zero value reproduces Maintain exactly. With QueueDepth > 0 the returned
+// LiveViews owns a background refresher — release it with Close.
+func (r *Recommendation) MaintainWithOptions(opts MaintainOptions) (*LiveViews, error) {
 	switch r.mode {
 	case ReasoningNone, ReasoningSaturate, ReasoningPre:
 		// Pre-reformulation views are plain conjunctive queries over the
@@ -34,11 +81,14 @@ func (r *Recommendation) Maintain() (*LiveViews, error) {
 	default:
 		return nil, fmt.Errorf("rdfviews: incremental maintenance is not supported under reasoning mode %q; re-materialize instead", r.mode)
 	}
-	m, err := maintain.New(r.matStore, r.state.ViewQueries())
+	m, err := maintain.NewWithConfig(r.matStore, r.state.ViewQueries(), maintain.Config{
+		QueueDepth: opts.QueueDepth,
+		BatchMax:   opts.BatchMax,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &LiveViews{rec: r, m: m}, nil
+	return &LiveViews{rec: r, m: m, stale: opts.StaleReads}, nil
 }
 
 // parseTriple parses one N-Triples-style line.
@@ -54,7 +104,9 @@ func (lv *LiveViews) parseTriple(line string) (rdf.Triple, error) {
 }
 
 // Insert adds one triple (N-Triples-style line) to the database and
-// propagates it to every view. It returns the number of view tuples added.
+// propagates it to every view. Synchronously it returns the number of view
+// tuples added; under asynchronous maintenance it returns once the delta is
+// queued (blocking while the queue is full) and reports 0.
 func (lv *LiveViews) Insert(line string) (int, error) {
 	t, err := lv.parseTriple(line)
 	if err != nil {
@@ -63,8 +115,8 @@ func (lv *LiveViews) Insert(line string) (int, error) {
 	return lv.m.Insert(lv.rec.matStore.Encode(t))
 }
 
-// Delete removes one triple and propagates the deletion. It returns the
-// number of view tuples removed.
+// Delete removes one triple and propagates the deletion. The return count
+// follows the same mode convention as Insert.
 func (lv *LiveViews) Delete(line string) (int, error) {
 	t, err := lv.parseTriple(line)
 	if err != nil {
@@ -74,10 +126,18 @@ func (lv *LiveViews) Delete(line string) (int, error) {
 }
 
 // Answer executes the rewriting of workload query i over the maintained
-// views, returning decoded rows.
+// views, returning decoded rows. Under asynchronous maintenance the
+// StaleReadPolicy decides between answering from the last published extent
+// generation (ServeStale) and flushing first (WaitFresh); either way one
+// query sees one consistent generation across every view it scans.
 func (lv *LiveViews) Answer(i int) ([][]string, error) {
 	if i < 0 || i >= len(lv.rec.state.Plans) {
 		return nil, fmt.Errorf("rdfviews: query index %d out of range", i)
+	}
+	if lv.stale == WaitFresh {
+		if err := lv.m.Flush(); err != nil {
+			return nil, err
+		}
 	}
 	rel, err := engine.Execute(lv.rec.state.Plans[i], lv.m.Resolver())
 	if err != nil {
@@ -86,5 +146,25 @@ func (lv *LiveViews) Answer(i int) ([][]string, error) {
 	return lv.rec.db.decodeRows(rel), nil
 }
 
-// NumRows returns the total maintained view tuples.
+// Flush blocks until every update applied before the call is folded into
+// the published view extents — the freshness barrier of asynchronous
+// maintenance. Synchronous maintenance is always flushed.
+func (lv *LiveViews) Flush() error { return lv.m.Flush() }
+
+// Lag returns the number of queued deltas not yet folded into published
+// extents and how many store epochs the extents trail the newest update
+// (both 0 under synchronous maintenance).
+func (lv *LiveViews) Lag() (deltas int, epochsBehind uint64) {
+	return lv.m.Lag(), lv.m.EpochsBehind()
+}
+
+// Async reports whether maintenance runs asynchronously.
+func (lv *LiveViews) Async() bool { return lv.m.Async() }
+
+// Close flushes pending deltas and stops the background refresher; further
+// updates fail. It is a no-op under synchronous maintenance.
+func (lv *LiveViews) Close() error { return lv.m.Close() }
+
+// NumRows returns the total maintained view tuples (published generations
+// under asynchronous maintenance).
 func (lv *LiveViews) NumRows() int { return lv.m.NumRows() }

@@ -61,6 +61,133 @@ func TestLiveViewsInsertDelete(t *testing.T) {
 	}
 }
 
+// TestMaintainAcceptedModes pins which reasoning modes Maintain accepts:
+// none, saturate and pre maintain directly (their views are plain
+// conjunctive queries over the maintained store); only post is rejected,
+// because post-reformulation views stay virtual-by-reformulation.
+func TestMaintainAcceptedModes(t *testing.T) {
+	for _, tc := range []struct {
+		mode Reasoning
+		ok   bool
+	}{
+		{ReasoningNone, true},
+		{ReasoningSaturate, true},
+		{ReasoningPre, true},
+		{ReasoningPost, false},
+	} {
+		db := NewDatabase()
+		db.MustLoadGraphString(museumData)
+		db.MustLoadSchemaString(museumSchema)
+		w := db.MustParseWorkload(`q(X) :- t(X, rdf:type, picture)`)
+		rec, err := db.Recommend(w, Options{Reasoning: tc.mode, Timeout: time.Second})
+		if err != nil {
+			t.Fatalf("%s: recommend: %v", tc.mode, err)
+		}
+		lv, err := rec.Maintain()
+		if tc.ok != (err == nil) {
+			t.Fatalf("Maintain under %s: ok=%v, err=%v", tc.mode, tc.ok, err)
+		}
+		if err == nil {
+			// A maintained mode must actually answer and accept updates.
+			if _, aerr := lv.Answer(0); aerr != nil {
+				t.Fatalf("%s: answer: %v", tc.mode, aerr)
+			}
+			if _, ierr := lv.Insert("m77 rdf:type picture ."); ierr != nil {
+				t.Fatalf("%s: insert: %v", tc.mode, ierr)
+			}
+		}
+	}
+}
+
+// TestLiveViewsAsyncFlushAndLag exercises the asynchronous facade: updates
+// return before propagation, Flush is the freshness barrier, Lag drains to
+// zero, and post-Flush answers equal the synchronous ones.
+func TestLiveViewsAsyncFlushAndLag(t *testing.T) {
+	db := paintersDB(t)
+	w := db.MustParseWorkload(paintersQuery)
+	rec, err := db.Recommend(w, Options{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := rec.MaintainWithOptions(MaintainOptions{QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lv.Close()
+	if !lv.Async() {
+		t.Fatal("QueueDepth > 0 should maintain asynchronously")
+	}
+	before, err := lv.Answer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != 2 {
+		t.Fatalf("initial answers = %d", len(before))
+	}
+	if _, err := lv.Insert("u6 hasPainted wheatfield ."); err != nil {
+		t.Fatal(err)
+	}
+	if err := lv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if deltas, epochs := lv.Lag(); deltas != 0 || epochs != 0 {
+		t.Fatalf("lag after flush = %d deltas, %d epochs", deltas, epochs)
+	}
+	after, err := lv.Answer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 3 {
+		t.Fatalf("answers after insert+flush = %d, want 3", len(after))
+	}
+	if _, err := lv.Delete("u6 hasPainted wheatfield ."); err != nil {
+		t.Fatal(err)
+	}
+	if err := lv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := lv.Answer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != 2 {
+		t.Fatalf("answers after delete+flush = %d, want 2", len(final))
+	}
+	if err := lv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lv.Insert("u7 hasPainted nightcafe ."); err == nil {
+		t.Fatal("insert after Close should fail")
+	}
+}
+
+// TestLiveViewsAsyncWaitFresh pins the WaitFresh staleness policy: Answer
+// flushes before executing, so results reflect every prior update without an
+// explicit Flush.
+func TestLiveViewsAsyncWaitFresh(t *testing.T) {
+	db := paintersDB(t)
+	w := db.MustParseWorkload(paintersQuery)
+	rec, err := db.Recommend(w, Options{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := rec.MaintainWithOptions(MaintainOptions{QueueDepth: 64, StaleReads: WaitFresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lv.Close()
+	if _, err := lv.Insert("u6 hasPainted wheatfield ."); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := lv.Answer(0) // no explicit Flush
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("WaitFresh answers = %d, want 3", len(rows))
+	}
+}
+
 func TestMaintainRejectedUnderPostReformulation(t *testing.T) {
 	db := NewDatabase()
 	db.MustLoadGraphString(museumData)

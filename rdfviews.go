@@ -38,6 +38,13 @@
 //     over materialized views execute on an analogous streaming operator
 //     set. Database.ExplainQuery and Recommendation.ExplainPhysical render
 //     the compiled physical plans.
+//   - internal/maintain keeps view extents synchronized with the store under
+//     triple insertions and deletions (the delta propagation the paper's VMC
+//     cost charges for), either inline or asynchronously behind a bounded
+//     change queue: a background refresher evaluates delta queries against
+//     epoch-tagged store snapshots and publishes copy-on-write extents
+//     atomically. See Recommendation.Maintain/MaintainWithOptions, the
+//     LiveViews Flush/Lag freshness surface and the StaleReadPolicy.
 //   - internal/cq, internal/algebra, internal/cost, internal/stats and
 //     internal/core implement the paper proper: conjunctive query theory,
 //     the rewriting algebra, the cost model of Section 3.3, its statistics
