@@ -50,7 +50,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 10*time.Second, "search time budget (stoptime)")
 		answer     = flag.Bool("answer", false, "materialize the views and print each query's answers")
 		maxRows    = flag.Int("maxrows", 10, "max answer rows to print per query")
-		explainPhy = flag.Bool("explain-physical", false, "print the physical plans: view materialization pipelines (scan permutations, joins) and rewriting operator trees")
+		explainPhy = flag.Bool("explain-physical", false, "print the physical plans: view materialization pipelines (scan permutations, merge/sort/hash joins with build sides and row estimates) and rewriting operator trees")
 		shards     = flag.Int("shards", 1, "hash-partition the triple store across N shards (by subject); >1 parallelizes large scans across cores")
 		updates    = flag.String("updates", "", "stream triple updates through the maintained views: one triple per line inserts, a '- ' prefix deletes")
 		asyncQueue = flag.Int("async-maintain", 0, "maintain views asynchronously behind a change queue of this depth (0 = synchronous maintenance)")

@@ -101,10 +101,12 @@ func (r *Recommendation) Explain() string {
 
 // ExplainPhysical renders the physical execution plans behind the
 // recommendation: for each view, the scan-permutation/join pipeline the
-// engine compiles to materialize it against the store, and for each
-// rewriting, the streaming operator tree it executes over the materialized
-// views. This is the physical counterpart of the logical rewritings shown by
-// Explain.
+// engine compiles to materialize it against the store (index scans, merge
+// joins with residual equalities, explicit Sorts at sort breaks, hash joins
+// with their chosen build side — all annotated with estimated row counts),
+// and for each rewriting, the streaming operator tree it executes over the
+// materialized views. This is the physical counterpart of the logical
+// rewritings shown by Explain.
 func (r *Recommendation) ExplainPhysical() string {
 	var sb strings.Builder
 	sb.WriteString("physical plans:\n")

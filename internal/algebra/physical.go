@@ -11,11 +11,13 @@ import (
 // explain surfaces (the library facade, the CLI) can render the physical
 // shape without importing the executor.
 type PhysNode struct {
-	// Op is the operator name: IndexScan, ViewScan, MergeJoin, HashJoin,
-	// NestedLoop, Filter, Project, Distinct, Union.
+	// Op is the operator name: IndexScan, ParallelScan, Gather, ViewScan,
+	// MergeJoin, HashJoin, Sort, CrossProduct, NestedLoop, Filter, Project,
+	// Distinct, Union.
 	Op string
 	// Detail is operator-specific: the scanned atom and permutation, join
-	// columns, filter conditions, projected columns.
+	// columns and residual equalities, a hash join's build side, the sort
+	// slot, filter conditions, projected columns.
 	Detail string
 	// EstRows is the operator's estimated output cardinality (0 if unknown).
 	EstRows float64

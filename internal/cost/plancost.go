@@ -7,6 +7,39 @@ import (
 	"rdfviews/internal/cq"
 )
 
+// Physical join-method weights: the per-row constants the engine's physical
+// planner uses to choose between a hash join and sorting the pipeline to
+// enable a merge join. They reflect the engine's measured operator profiles,
+// not the logical cost function of Section 3.3 (whose weights live in
+// Weights): a hash-table insert costs a hash, a table slot and a row copy; a
+// probe costs a hash and a chain walk; a merge step is one comparison over an
+// already-sorted stream; a sort comparison includes sort.Slice dispatch
+// overhead.
+const (
+	// HashBuildWeight is the cost of inserting one row into the join table.
+	HashBuildWeight = 2.0
+	// HashProbeWeight is the cost of probing the table with one row.
+	HashProbeWeight = 1.0
+	// SortWeight is the cost of one comparison while sorting the pipeline.
+	SortWeight = 1.5
+	// MergeWeight is the cost of advancing one row of a sorted merge.
+	MergeWeight = 0.5
+)
+
+// HashJoinCost estimates a hash join that builds a table over build rows and
+// probes it with probe rows. Callers pass the smaller side as build when the
+// executor is free to choose its build side.
+func HashJoinCost(build, probe float64) float64 {
+	return HashBuildWeight*build + HashProbeWeight*probe
+}
+
+// SortMergeJoinCost estimates sorting a pipeline of pipe rows and merge-
+// joining it against an index cursor of atom rows that is already sorted
+// (the store's permutation indexes make the right side free to order).
+func SortMergeJoinCost(pipe, atom float64) float64 {
+	return SortWeight*pipe*math.Log2(math.Max(pipe, 2)) + MergeWeight*(pipe+atom)
+}
+
 // PlanCosting carries the estimated execution profile of a rewriting plan.
 type PlanCosting struct {
 	// Card is the estimated output cardinality.

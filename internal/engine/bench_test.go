@@ -2,11 +2,13 @@ package engine
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"rdfviews/internal/algebra"
 	"rdfviews/internal/cq"
 	"rdfviews/internal/datagen"
+	"rdfviews/internal/dict"
 	"rdfviews/internal/store"
 )
 
@@ -145,6 +147,97 @@ func benchShardQuery(b *testing.B, src string) {
 			baseline = got
 		} else if !got.EqualAsSet(baseline) {
 			b.Fatalf("shards=%d disagrees with single shard: %d vs %d rows", k, got.Len(), baseline.Len())
+		}
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EvalQuery(st, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchPlannerChain builds the planner benchmark's chain dataset: a sparse
+// first hop (300 p0 edges) into large but selective p1/p2/p3 relations
+// (20000 edges each, out-degree ~1), the shape where the sort-break plan —
+// sort the small pipeline, merge against the big already-sorted predicate
+// index — beats cascading hash joins that build a 20000-entry table per hop.
+func benchPlannerChain(b *testing.B) (*store.Store, *cq.Query) {
+	b.Helper()
+	st := store.New()
+	d := st.Dict()
+	rng := rand.New(rand.NewSource(11))
+	n := func(i int) dict.ID { return d.EncodeIRI(fmt.Sprintf("n%d", i)) }
+	for i := 0; i < 300; i++ {
+		st.Add(store.Triple{d.EncodeIRI(fmt.Sprintf("a%d", i)), d.EncodeIRI("p0"), n(rng.Intn(20000))})
+	}
+	for _, pred := range []string{"p1", "p2", "p3"} {
+		pid := d.EncodeIRI(pred)
+		for i := 0; i < 20000; i++ {
+			st.Add(store.Triple{n(rng.Intn(20000)), pid, n(rng.Intn(20000))})
+		}
+	}
+	q := cq.NewParser(d).MustParseQuery(
+		"q(X, V) :- t(X, p0, Y), t(Y, p1, Z), t(Z, p2, W), t(W, p3, V)")
+	return st, q
+}
+
+// BenchmarkPlannerChain4 measures the merge-past-sort-break win on a chain of
+// four atoms: "hash-only" is the pre-Sort planner (cascading hash joins),
+// "sort-merge" the current one (scan → merge → sort → merge → sort → merge).
+// Results are recorded in BENCH_planner.json.
+func BenchmarkPlannerChain4(b *testing.B) {
+	st, q := benchPlannerChain(b)
+	defer func(old bool) { enablePlannerDepth = old }(enablePlannerDepth)
+	enablePlannerDepth = false
+	baseline, err := EvalQuery(st, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enablePlannerDepth = true
+	got, err := EvalQuery(st, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !got.EqualAsSet(baseline) {
+		b.Fatalf("sort-merge plan disagrees with hash-only baseline: %d vs %d rows",
+			got.Len(), baseline.Len())
+	}
+	for _, mode := range []struct {
+		name  string
+		depth bool
+	}{{"hash-only", false}, {"sort-merge", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			enablePlannerDepth = mode.depth
+			for i := 0; i < b.N; i++ {
+				if _, err := EvalQuery(st, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGatherMergeWideFanout runs the ordered-gather chain at high shard
+// counts: with 32 streams most shards exhaust early, so the gather's live-set
+// tracking (vs re-polling every stream per row) dominates the fan-in cost.
+func BenchmarkGatherMergeWideFanout(b *testing.B) {
+	oldMin := parallelScanMinRows
+	parallelScanMinRows = 0
+	defer func() { parallelScanMinRows = oldMin }()
+	var baseline *Relation
+	for _, k := range []int{8, 32} {
+		st, p := benchShardedData(b, k)
+		q := p.MustParseQuery(benchQueries["Chain3"])
+		got, err := EvalQuery(st, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = got
+		} else if !got.EqualAsSet(baseline) {
+			b.Fatalf("shards=%d disagrees: %d vs %d rows", k, got.Len(), baseline.Len())
 		}
 		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

@@ -18,7 +18,7 @@ func evalQueryINL(st *store.Store, q *cq.Query) (*Relation, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	order := orderAtoms(q, storeCards{st})
+	order, _ := orderAtoms(q, storeCards{st})
 	out := NewRelation(q.Head)
 	seen := newRowSet(16)
 	bind := make(map[cq.Term]dict.ID)

@@ -19,11 +19,18 @@ import (
 //     positions into registers;
 //   - mergeJoinOp: joins a pipeline sorted on one register slot with an atom
 //     cursor sorted on the matching triple position, buffering one equal-key
-//     run of the right side at a time;
+//     run of the right side at a time; further shared variables are residual
+//     equality checks against each group triple;
+//   - sortOp (sort.go): materializes the pipeline and re-emits it ordered by
+//     one register slot — the sort-break operator that makes merge joins
+//     available again further down a chain;
 //   - hashJoinOp: builds a hash table over the atom's matching triples
 //     (bucketed by a 64-bit key hash, verified by value) and probes it with
 //     the streaming left pipeline; with no key columns it degrades to the
-//     Cartesian product a disconnected query requires.
+//     Cartesian product a disconnected query requires;
+//   - hashJoinBuildLeftOp: the flipped build side — the pipeline is drained
+//     into the table and the atom's cursor streams through as the probe,
+//     chosen when the pipeline is estimated much smaller than the atom.
 //
 // Projection and duplicate elimination happen at the drain site (QueryPlan
 // run) against a rowSet, so no operator materializes its output.
@@ -98,13 +105,21 @@ func (s *scanOp) next() (Row, bool) {
 // permutation that lists the atom's constants, then rpos). One equal-key run
 // of right triples is buffered at a time, so duplicate keys on either side
 // produce the full cross-combination.
+//
+// When the atom shares more than one variable with the pipeline, the merge
+// runs on the sorted slot and the remaining shared variables are residual
+// equality checks (extraSlots/extraPos) applied to each group triple — the
+// multi-key generalization that keeps merge joins available for star and
+// cycle shapes.
 type mergeJoinOp struct {
-	left  op
-	st    store.Reader
-	spec  *atomSpec
-	slot  int // join variable's register slot (left side, sorted)
-	rpos  int // join variable's triple position (right side, sorted)
-	width int
+	left       op
+	st         store.Reader
+	spec       *atomSpec
+	slot       int   // join variable's register slot (left side, sorted)
+	rpos       int   // join variable's triple position (right side, sorted)
+	extraSlots []int // residual shared variables: register slots ...
+	extraPos   []int // ... and the matching triple positions
+	width      int
 
 	started  bool
 	cur      store.Cursor
@@ -130,6 +145,19 @@ func (m *mergeJoinOp) next() (Row, bool) {
 			for m.gi < len(m.group) {
 				t := m.group[m.gi]
 				m.gi++
+				// Residual shared variables must match the left row before the
+				// triple's bindings overwrite their slots (with equal values
+				// when the check passes, so the order is what matters).
+				ok := true
+				for i, p := range m.extraPos {
+					if t[p] != m.out[m.extraSlots[i]] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
 				if m.spec.bindInto(m.out, t) {
 					return m.out, true
 				}
@@ -230,6 +258,106 @@ func (j *hashJoinOp) build() {
 	}
 	j.out = make(Row, j.width)
 	j.built = true
+}
+
+// hashJoinBuildLeftOp is the hash join with the build side flipped: the
+// planner chooses it when the pipeline-so-far is estimated smaller than the
+// atom's extent. The left pipeline is drained into the hash table (rows
+// copied into an arena, keyed by the shared variables' register slots) and
+// the atom's cursor streams through as the probe side. Output order follows
+// the probe cursor's permutation, so the planner can pick the permutation's
+// post-prefix column to establish a new sort order for downstream merges.
+type hashJoinBuildLeftOp struct {
+	left     op
+	st       store.Reader
+	spec     *atomSpec
+	keySlots []int // build: register slots of the shared variables
+	keyPos   []int // probe: triple positions of the shared variables
+	width    int
+
+	built    bool
+	table    *idTable // key hash -> chain head, as build row index + 1
+	brows    []Row    // build-side pipeline rows (copied: buffers are reused)
+	chains   []int32  // collision chain, same encoding as table
+	cur      store.Cursor
+	curT     store.Triple
+	chain    int32
+	emitting bool
+	out      Row
+}
+
+// close releases any parallel-scan workers feeding the pipeline below.
+func (j *hashJoinBuildLeftOp) close() { closeOp(j.left) }
+
+func (j *hashJoinBuildLeftOp) build() {
+	j.table = newIDTable(64)
+	var arena rowArena
+	for {
+		row, ok := j.left.next()
+		if !ok {
+			break
+		}
+		h := hashValues(row, j.keySlots)
+		j.brows = append(j.brows, arena.copyRow(row))
+		j.chains = append(j.chains, j.table.get(h))
+		j.table.put(h, int32(len(j.brows)))
+	}
+	j.out = make(Row, j.width)
+	j.built = true
+}
+
+func (j *hashJoinBuildLeftOp) next() (Row, bool) {
+	if !j.built {
+		j.build()
+		if len(j.brows) == 0 {
+			return nil, false
+		}
+		j.cur = j.st.NewCursor(j.spec.perm, j.spec.pat)
+	}
+	for {
+		if j.emitting {
+			for j.chain != 0 {
+				r := j.brows[j.chain-1]
+				j.chain = j.chains[j.chain-1]
+				match := true
+				for i, p := range j.keyPos {
+					if j.curT[p] != r[j.keySlots[i]] {
+						match = false
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+				copy(j.out, r)
+				if j.spec.bindInto(j.out, j.curT) {
+					return j.out, true
+				}
+			}
+			j.emitting = false
+		}
+		t, ok := j.cur.Next()
+		if !ok {
+			return nil, false
+		}
+		keep := true
+		for _, c := range j.spec.checks {
+			if t[c[0]] != t[c[1]] {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		chain := j.table.get(hashIDs(t, j.keyPos))
+		if chain == 0 {
+			continue
+		}
+		j.curT = t
+		j.chain = chain
+		j.emitting = true
+	}
 }
 
 func (j *hashJoinOp) next() (Row, bool) {

@@ -151,6 +151,7 @@ type gatherMergeOp struct {
 	closed  bool
 	done    chan struct{}
 	streams []shardStream
+	live    []int // indexes of streams not yet exhausted
 }
 
 // shardStream is one worker's output with its merge head.
@@ -181,7 +182,9 @@ func (s *shardStream) head() (Row, bool) {
 func (g *gatherMergeOp) start() {
 	g.done = make(chan struct{})
 	g.streams = make([]shardStream, g.dop)
+	g.live = make([]int, g.dop)
 	for s := 0; s < g.dop; s++ {
+		g.live[s] = s
 		ch := make(chan []Row, 2)
 		g.streams[s].ch = ch
 		go func(shard int, out chan []Row) {
@@ -196,16 +199,24 @@ func (g *gatherMergeOp) next() (Row, bool) {
 	if !g.started {
 		g.start()
 	}
+	// Only live streams are consulted: a stream that reports EOF is
+	// swap-removed from the live set, so a wide fan-out whose shards drain at
+	// different rates stops re-polling exhausted heads on every row.
 	best := -1
 	var bestRow Row
-	for i := range g.streams {
+	for k := 0; k < len(g.live); {
+		i := g.live[k]
 		row, ok := g.streams[i].head()
 		if !ok {
+			last := len(g.live) - 1
+			g.live[k] = g.live[last]
+			g.live = g.live[:last]
 			continue
 		}
 		if best < 0 || row[g.slot] < bestRow[g.slot] {
 			best, bestRow = i, row
 		}
+		k++
 	}
 	if best < 0 {
 		return nil, false

@@ -104,8 +104,8 @@ func TestParallelPlanShapeAndExplain(t *testing.T) {
 		t.Fatalf("merge-join pipeline should use an ordered gather:\n%s", out)
 	}
 
-	// Two shared variables force a hash join: no merge join downstream, so
-	// the fan-in is an arrival-order gather.
+	// Two shared variables now merge on the scan's sort slot with a residual
+	// equality on the second — the fan-in must still be an ordered gather.
 	vj := p.MustParseQuery("q(X, Y) :- t(X, p0, Y), t(Y, p1, X)")
 	p.ResetNames()
 	plan, err = PlanQuery(st4, vj)
@@ -116,8 +116,69 @@ func TestParallelPlanShapeAndExplain(t *testing.T) {
 	if !strings.Contains(out, "Gather") {
 		t.Fatalf("sharded value join should gather:\n%s", out)
 	}
+	if !strings.Contains(out, "MergeJoin") || !strings.Contains(out, "residual=[") {
+		t.Fatalf("two shared variables should merge with a residual equality:\n%s", out)
+	}
+	if !strings.Contains(out, "merge=[") {
+		t.Fatalf("merge-join pipeline should use an ordered gather:\n%s", out)
+	}
+
+	// With sort-merge planning disabled the same query hash-joins, and a
+	// hash-join pipeline must not pay for an ordered gather.
+	enablePlannerDepth = false
+	defer func() { enablePlannerDepth = true }()
+	plan, err = PlanQuery(st4, vj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = plan.Explain()
+	if !strings.Contains(out, "HashJoin") {
+		t.Fatalf("sort-merge disabled: value join should hash-join:\n%s", out)
+	}
 	if strings.Contains(out, "merge=[") {
 		t.Fatalf("hash-join pipeline should not pay for an ordered gather:\n%s", out)
+	}
+}
+
+// TestGatherMergeSkewedShards drives the ordered gather over a wide fan-out
+// where most shards hold nothing: only a handful of distinct subjects means
+// most of the 16 shard streams exhaust immediately, exercising the live-set
+// compaction (exhausted streams must stop being polled, and the merge must
+// still restore global order).
+func TestGatherMergeSkewedShards(t *testing.T) {
+	forceParallel(t)
+	st1 := store.New()
+	st16 := store.NewWithDictSharded(st1.Dict(), 16)
+	d := st1.Dict()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 600; i++ {
+		tr := store.Triple{
+			d.EncodeIRI(fmt.Sprintf("s%d", rng.Intn(3))), // 3 subjects, ≥13 empty shards
+			d.EncodeIRI(fmt.Sprintf("p%d", rng.Intn(2))),
+			d.EncodeIRI(fmt.Sprintf("s%d", rng.Intn(40))),
+		}
+		st1.Add(tr)
+		st16.Add(tr)
+	}
+	p := cq.NewParser(d)
+	q := p.MustParseQuery("q(X, Z) :- t(X, p0, Y), t(Y, p1, Z)")
+	plan, err := PlanQuery(st16, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := plan.Explain(); !strings.Contains(out, "merge=[") {
+		t.Fatalf("skewed chain should still use an ordered gather:\n%s", out)
+	}
+	serial, err := EvalQuery(st1, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := plan.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.EqualAsSet(serial) {
+		t.Fatalf("skewed gather: parallel %d rows, serial %d rows", par.Len(), serial.Len())
 	}
 }
 

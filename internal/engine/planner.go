@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"rdfviews/internal/algebra"
@@ -24,17 +25,74 @@ var _ Cards = (cost.Stats)(nil)
 // storeCards answers exact counts from the store's permutation indexes.
 type storeCards struct{ st store.Reader }
 
+// repeatedVarScanLimit bounds the exact fallback count for repeated-variable
+// atoms like t(X, p, X): at or below it the pattern is scanned and the
+// equality checks applied (exact), above it a √n-distinct discount
+// approximates each check. Variable so tests can force either path.
+var repeatedVarScanLimit = 4096.0
+
 func (c storeCards) AtomCount(a cq.Atom) float64 {
 	var pat store.Pattern
+	var checks [][2]int
+	first := make(map[cq.Term]int, 3)
 	for i := 0; i < 3; i++ {
-		if a[i].IsConst() {
-			pat[i] = a[i].ConstID()
+		t := a[i]
+		if t.IsConst() {
+			pat[i] = t.ConstID()
+			continue
+		}
+		if fp, ok := first[t]; ok {
+			checks = append(checks, [2]int{fp, i})
+		} else {
+			first[t] = i
 		}
 	}
-	return float64(c.st.Count(pat))
+	n := float64(c.st.Count(pat))
+	if len(checks) == 0 || n == 0 {
+		// No repeated variables: the pattern count is the atom count.
+		return n
+	}
+	if n <= repeatedVarScanLimit {
+		// Small enough to count exactly: scan the pattern and keep only the
+		// triples passing the repeated-variable equalities.
+		var bound []int
+		for i := 0; i < 3; i++ {
+			if pat[i] != store.Wildcard {
+				bound = append(bound, i)
+			}
+		}
+		perm, _ := store.PermFor(bound, -1)
+		cur := c.st.NewCursor(perm, pat)
+		m := 0
+		for {
+			t, ok := cur.Next()
+			if !ok {
+				break
+			}
+			keep := true
+			for _, ch := range checks {
+				if t[ch[0]] != t[ch[1]] {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				m++
+			}
+		}
+		return float64(m)
+	}
+	// Too large to scan at plan time: each equality keeps about one row per
+	// distinct value of the repeated column, and with no distinct-count
+	// statistic on the Reader surface we assume √n distinct values — so every
+	// check shrinks the estimate to its square root.
+	for range checks {
+		n = math.Sqrt(n)
+	}
+	return n
 }
 
-// stepKind is the physical join operator of one pipeline step.
+// stepKind is the physical operator of one pipeline step.
 type stepKind int
 
 const (
@@ -42,18 +100,26 @@ const (
 	stepMergeJoin
 	stepHashJoin
 	stepCross
+	stepSort
 )
 
 // planStep is one compiled step of the left-deep pipeline: the first step is
-// an index scan, every later step joins the pipeline with one more atom.
+// an index scan, a stepSort re-orders the pipeline-so-far on one register
+// slot, and every other step joins the pipeline with one more atom.
 type planStep struct {
-	kind     stepKind
-	spec     *atomSpec
-	joinSlot int   // merge join: the sorted register slot joined on
-	rpos     int   // merge join: the right triple position joined on
-	keySlots []int // hash join: register slots of the shared variables
-	keyPos   []int // hash join: matching triple positions
-	est      float64
+	kind stepKind
+	spec *atomSpec // nil for stepSort
+
+	joinSlot   int   // merge join: sorted slot joined on; sort: slot sorted on
+	rpos       int   // merge join: the right triple position joined on
+	extraSlots []int // merge join: residual shared-variable register slots
+	extraPos   []int // merge join: matching triple positions
+	keySlots   []int // hash join: register slots of the shared variables
+	keyPos     []int // hash join: matching triple positions
+	buildLeft  bool  // hash join: build the table over the pipeline side
+
+	est    float64 // the step's atom cardinality (sort: pipeline input rows)
+	outEst float64 // estimated pipeline cardinality after this step
 
 	// Exchange parallelism (driving scan only): par > 1 fans the scan out
 	// across that many store shards on worker goroutines; parSlot is the
@@ -66,11 +132,28 @@ type planStep struct {
 // fanning out across shards is not worth the goroutine and channel overhead.
 var parallelScanMinRows = 1024.0
 
+// buildLeftMargin is how many times smaller than the atom the pipeline must
+// be estimated before a hash join builds over the pipeline side. It is
+// deliberately large: the containment estimate is biased low on fan-out
+// joins (it has no per-column distinct counts to see multiplying stars), and
+// building left also pays arena copies of the pipeline rows, so flipping the
+// build side must be clearly worth it under the most pessimistic reading of
+// the estimate.
+const buildLeftMargin = 16.0
+
+// enablePlannerDepth gates the planner-depth features as one unit: Sort +
+// MergeJoin at sort breaks, multi-shared-variable merge joins with residual
+// equalities, and cost-based hash-join build sides. Disabled, the planner
+// reproduces its historical shape — merge only on a single shared variable
+// matching the pipeline's sort slot, hash joins always building on the atom —
+// which the benchmarks keep as the cascading-hash-join baseline.
+var enablePlannerDepth = true
+
 // QueryPlan is a compiled physical plan for one conjunctive query: a
-// left-deep pipeline of index scans and joins over the store's six sorted
-// permutations, followed by projection onto the head and — when the head
-// drops body variables — duplicate elimination. Build with PlanQuery, run
-// with Eval, render with Explain.
+// left-deep pipeline of index scans, joins and sorts over the store's six
+// sorted permutations, followed by projection onto the head and — when the
+// head drops body variables — duplicate elimination. Build with PlanQuery,
+// run with Eval, render with Explain.
 type QueryPlan struct {
 	st         store.Reader
 	steps      []planStep
@@ -87,14 +170,43 @@ func PlanQuery(st store.Reader, q *cq.Query) (*QueryPlan, error) {
 	return PlanQueryWithStats(st, q, storeCards{st})
 }
 
+// joinOutEst crudely estimates a join's output cardinality in the containment
+// style the cost model uses: l·r/max(l,r) = min(l,r) on the primary shared
+// variable, halved again per additional shared variable; with no shared
+// variables it is the cross product.
+func joinOutEst(l, r float64, keys int) float64 {
+	if l <= 0 || r <= 0 {
+		return 0
+	}
+	if keys == 0 {
+		return l * r
+	}
+	out := l * r / math.Max(l, r)
+	for i := 1; i < keys; i++ {
+		out /= 2
+	}
+	return math.Max(out, 1)
+}
+
 // PlanQueryWithStats compiles the query, ordering joins by the provider's
 // cardinalities (greedy: most selective first, preferring atoms connected to
-// the variables already bound).
+// the variables already bound) and choosing each join's physical operator by
+// the order the pipeline carries and the sides' estimated cardinalities:
+//
+//   - while the next atom shares the slot the pipeline is sorted on, it is
+//     merge-joined (residual equality checks cover further shared variables);
+//   - at a sort break — shared variables, none of them the sorted slot — the
+//     planner compares sorting the pipeline to re-enable a merge join against
+//     the atom's already-sorted permutation cursor with the best hash join,
+//     using the physical weights in internal/cost;
+//   - hash joins build over the estimated-smaller side: the atom's extent
+//     (build=right, pipeline order preserved) or the pipeline-so-far
+//     (build=left, output re-ordered by the probe cursor's permutation).
 func PlanQueryWithStats(st store.Reader, q *cq.Query, cards Cards) (*QueryPlan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	order := orderAtoms(q, cards)
+	order, counts := orderAtoms(q, cards)
 
 	// Compact variable numbering, in pipeline binding order.
 	slotOf := make(map[cq.Term]int)
@@ -117,11 +229,13 @@ func PlanQueryWithStats(st store.Reader, q *cq.Query, cards Cards) (*QueryPlan, 
 	}
 
 	bound := make([]bool, p.width)
-	sorted := -1 // register slot the pipeline is currently sorted on
+	sorted := -1     // register slot the pipeline is currently sorted on
+	scanSorted := -1 // the driving scan's sort slot (for the exchange fan-in)
+	pipe := 0.0      // estimated cardinality of the pipeline so far
 	for k, ai := range order {
 		a := q.Atoms[ai]
 		spec := makeAtomSpec(a, slotOf)
-		est := cards.AtomCount(a)
+		est := counts[ai]
 
 		// Shared variables: distinct register slots of a's already-bound
 		// variables, with the first triple position holding each.
@@ -138,31 +252,97 @@ func PlanQueryWithStats(st store.Reader, q *cq.Query, cards Cards) (*QueryPlan, 
 			}
 		}
 
-		step := planStep{spec: spec, est: est}
 		consts := constPositions(a)
 		switch {
 		case k == 0:
-			step.kind = stepScan
+			step := planStep{kind: stepScan, spec: spec, est: est}
 			then := chooseSortPosition(q, order, slotOf)
 			spec.perm, _ = store.PermFor(consts, then)
 			if then >= 0 {
 				sorted = slotOf[a[then]]
 			}
-		case len(shared) == 1 && shared[0] == sorted:
-			step.kind = stepMergeJoin
-			step.joinSlot = shared[0]
-			step.rpos = sharedPos[0]
+			scanSorted = sorted
+			pipe = est
+			step.outEst = pipe
+			p.steps = append(p.steps, step)
+
+		case len(shared) > 0 && containsInt(shared, sorted) &&
+			(enablePlannerDepth || len(shared) == 1):
+			// The pipeline's sort order covers one shared variable: merge on
+			// it, check the remaining shared variables as residual equalities.
+			step := planStep{kind: stepMergeJoin, spec: spec, est: est, joinSlot: sorted}
+			for i, s := range shared {
+				if s == sorted {
+					step.rpos = sharedPos[i]
+				} else {
+					step.extraSlots = append(step.extraSlots, s)
+					step.extraPos = append(step.extraPos, sharedPos[i])
+				}
+			}
 			spec.perm, _ = store.PermFor(consts, step.rpos)
+			pipe = joinOutEst(pipe, est, len(shared))
+			step.outEst = pipe
+			p.steps = append(p.steps, step)
+			// Output keeps the left order on the merge slot: sorted unchanged.
+
 		case len(shared) > 0:
-			step.kind = stepHashJoin
-			step.keySlots = shared
-			step.keyPos = sharedPos
-			spec.perm, _ = store.PermFor(consts, -1)
+			// Sort break: no shared variable is the sorted slot. Either sort
+			// the pipeline to merge against the atom's ordered cursor, or
+			// hash-join building over the estimated-smaller side.
+			//
+			// The hash alternative is deliberately costed at its best build
+			// side even when the buildLeftMargin below would block
+			// build-left. Both sorting and building left lose badly when the
+			// pipeline estimate runs low — the containment estimate's known
+			// failure mode on fan-out joins — while hash-build-right's cost
+			// is dominated by the atom count, which is reliable. Sorting must
+			// therefore beat even the idealized hash to be chosen: if the
+			// pipeline estimate holds, that idealized cost is achievable; if
+			// it doesn't, the safe executor fallback (build=right) was the
+			// right call anyway and the sort would have been the expensive
+			// mistake. A minimax against estimation error, not an oversight.
+			outEst := joinOutEst(pipe, est, len(shared))
+			hashCost := cost.HashJoinCost(math.Min(pipe, est), math.Max(pipe, est))
+			if enablePlannerDepth && cost.SortMergeJoinCost(pipe, est) <= hashCost {
+				sorted = shared[0]
+				p.steps = append(p.steps, planStep{kind: stepSort, joinSlot: sorted, est: pipe, outEst: pipe})
+				step := planStep{kind: stepMergeJoin, spec: spec, est: est,
+					joinSlot: sorted, rpos: sharedPos[0],
+					extraSlots: shared[1:], extraPos: sharedPos[1:]}
+				spec.perm, _ = store.PermFor(consts, step.rpos)
+				pipe = outEst
+				step.outEst = pipe
+				p.steps = append(p.steps, step)
+			} else {
+				step := planStep{kind: stepHashJoin, spec: spec, est: est,
+					keySlots: shared, keyPos: sharedPos,
+					buildLeft: enablePlannerDepth && pipe*buildLeftMargin < est}
+				if step.buildLeft {
+					// Probe-side output follows the cursor's permutation:
+					// sort it on a new variable a later atom joins on, so the
+					// probe establishes the next merge's order for free.
+					then := probeOrderPosition(q, order[k+1:], a, slotOf, bound)
+					spec.perm, _ = store.PermFor(consts, then)
+					sorted = -1
+					if then >= 0 {
+						sorted = slotOf[a[then]]
+					}
+				} else {
+					// build=right streams the pipeline: order preserved.
+					spec.perm, _ = store.PermFor(consts, -1)
+				}
+				pipe = outEst
+				step.outEst = pipe
+				p.steps = append(p.steps, step)
+			}
+
 		default:
-			step.kind = stepCross
+			step := planStep{kind: stepCross, spec: spec, est: est}
 			spec.perm, _ = store.PermFor(consts, -1)
+			pipe = joinOutEst(pipe, est, 0)
+			step.outEst = pipe
+			p.steps = append(p.steps, step)
 		}
-		p.steps = append(p.steps, step)
 		for _, t := range a {
 			if t.IsVar() {
 				bound[slotOf[t]] = true
@@ -172,20 +352,28 @@ func PlanQueryWithStats(st store.Reader, q *cq.Query, cards Cards) (*QueryPlan, 
 
 	// Exchange parallelism: a driving scan over a sharded store whose subject
 	// is unbound touches every shard, so fan it out across them when it is
-	// large enough to amortize the workers. When any downstream merge join
-	// consumes the scan's sort order, the fan-in is an ordered gather merging
-	// on the sorted slot; otherwise batches surface in arrival order. With
-	// one shard (the default) plans are exactly the historical serial ones.
+	// large enough to amortize the workers. The fan-in must be an ordered
+	// gather (merging on the scan's sort slot) only when a downstream merge
+	// join consumes that order before anything re-establishes (Sort) or
+	// destroys (build=left hash join) it; otherwise batches surface in
+	// arrival order. With one shard (the default) plans are exactly the
+	// historical serial ones.
 	if len(p.steps) > 0 && p.steps[0].kind == stepScan && st != nil && st.NumShards() > 1 {
 		s0 := &p.steps[0]
 		if s0.spec.pat[store.S] == store.Wildcard && s0.est >= parallelScanMinRows {
 			s0.par = st.NumShards()
 			s0.parSlot = -1
-			for _, s := range p.steps[1:] {
+			for i := 1; i < len(p.steps); i++ {
+				s := &p.steps[i]
 				if s.kind == stepMergeJoin {
-					s0.parSlot = sorted
+					s0.parSlot = scanSorted
 					break
 				}
+				if s.kind == stepSort || (s.kind == stepHashJoin && s.buildLeft) {
+					break
+				}
+				// build=right hash joins and cross products preserve the
+				// scan's order; keep looking.
 			}
 		}
 	}
@@ -238,9 +426,10 @@ func makeAtomSpec(a cq.Atom, slotOf map[cq.Term]int) *atomSpec {
 }
 
 // chooseSortPosition picks the triple position the first scan should sort on:
-// the variable the second atom could merge-join on (when the two atoms share
-// exactly one), else any variable occurring in a later atom, else the first
-// variable position; -1 for an all-constant atom.
+// a variable the second atom joins on (the merge then covers it, with any
+// further shared variables as residual checks), else any variable occurring
+// in a later atom, else the first variable position; -1 for an all-constant
+// atom.
 func chooseSortPosition(q *cq.Query, order []int, slotOf map[cq.Term]int) int {
 	a0 := q.Atoms[order[0]]
 	if len(order) > 1 {
@@ -251,7 +440,7 @@ func chooseSortPosition(q *cq.Query, order []int, slotOf map[cq.Term]int) int {
 				sharedVars = append(sharedVars, t)
 			}
 		}
-		if len(sharedVars) == 1 {
+		if len(sharedVars) == 1 || (enablePlannerDepth && len(sharedVars) > 1) {
 			for pos := 0; pos < 3; pos++ {
 				if a0[pos] == sharedVars[0] {
 					return pos
@@ -282,6 +471,36 @@ func chooseSortPosition(q *cq.Query, order []int, slotOf map[cq.Term]int) int {
 	return fallback
 }
 
+// probeOrderPosition picks the triple position a build-left hash join's probe
+// cursor should sort on: the first position holding a not-yet-bound variable
+// (first occurrence within the atom) that a later atom joins on, so the probe
+// stream leaves the pipeline sorted for a downstream merge; -1 when no such
+// position exists.
+func probeOrderPosition(q *cq.Query, rest []int, a cq.Atom, slotOf map[cq.Term]int, bound []bool) int {
+	for pos := 0; pos < 3; pos++ {
+		t := a[pos]
+		if !t.IsVar() || bound[slotOf[t]] {
+			continue
+		}
+		firstOcc := true
+		for prev := 0; prev < pos; prev++ {
+			if a[prev] == t {
+				firstOcc = false
+				break
+			}
+		}
+		if !firstOcc {
+			continue
+		}
+		for _, ai := range rest {
+			if q.Atoms[ai].HasVar(t) {
+				return pos
+			}
+		}
+	}
+	return -1
+}
+
 func constPositions(a cq.Atom) []int {
 	var out []int
 	for pos := 0; pos < 3; pos++ {
@@ -304,8 +523,10 @@ func containsInt(xs []int, x int) bool {
 // orderAtoms orders the body greedily by the provider's cardinalities: start
 // from the atom with the smallest estimate; repeatedly append the connected
 // atom (sharing a bound variable) with the smallest estimate, falling back to
-// the globally smallest when none connects.
-func orderAtoms(q *cq.Query, cards Cards) []int {
+// the globally smallest when none connects. The per-atom counts are returned
+// for reuse — AtomCount can be a real scan for repeated-variable atoms, so
+// the planner asks once.
+func orderAtoms(q *cq.Query, cards Cards) ([]int, []float64) {
 	n := len(q.Atoms)
 	order := make([]int, 0, n)
 	used := make([]bool, n)
@@ -343,7 +564,7 @@ func orderAtoms(q *cq.Query, cards Cards) []int {
 			}
 		}
 	}
-	return order
+	return order, counts
 }
 
 // buildOps instantiates the operator pipeline. Operators are single-use:
@@ -362,13 +583,43 @@ func (p *QueryPlan) buildOps() op {
 			default:
 				cur = &scanOp{st: p.st, spec: s.spec, width: p.width}
 			}
+		case stepSort:
+			cur = &sortOp{in: cur, slot: s.joinSlot, width: p.width}
 		case stepMergeJoin:
-			cur = &mergeJoinOp{left: cur, st: p.st, spec: s.spec, slot: s.joinSlot, rpos: s.rpos, width: p.width}
-		default: // stepHashJoin, stepCross (a hash join with no key columns)
+			cur = &mergeJoinOp{left: cur, st: p.st, spec: s.spec, slot: s.joinSlot, rpos: s.rpos,
+				extraSlots: s.extraSlots, extraPos: s.extraPos, width: p.width}
+		case stepHashJoin:
+			if s.buildLeft {
+				cur = &hashJoinBuildLeftOp{left: cur, st: p.st, spec: s.spec,
+					keySlots: s.keySlots, keyPos: s.keyPos, width: p.width}
+				break
+			}
+			cur = &hashJoinOp{left: cur, st: p.st, spec: s.spec, keySlots: s.keySlots, keyPos: s.keyPos, width: p.width}
+		default: // stepCross (a hash join with no key columns)
 			cur = &hashJoinOp{left: cur, st: p.st, spec: s.spec, keySlots: s.keySlots, keyPos: s.keyPos, width: p.width}
 		}
 	}
 	return cur
+}
+
+// distinctHintCap bounds the distinct set's pre-size: estimates at or above
+// it clamp to the cap (one bounded allocation) instead of being discarded —
+// the old behavior fell back to a 64-slot table and rehash-stormed on huge
+// outputs.
+const distinctHintCap = 1 << 20
+
+// distinctSizeHint sizes the output row set from the plan's driving-scan
+// estimate: the greedy order starts at the most selective atom, so this is a
+// cheap lower-bound hint that avoids most rehashing on large outputs.
+func distinctSizeHint(est float64) int {
+	const def = 64
+	if est <= def {
+		return def
+	}
+	if est >= distinctHintCap {
+		return distinctHintCap
+	}
+	return int(est)
 }
 
 // Eval runs the pipeline and returns the distinct head tuples — the same
@@ -381,12 +632,9 @@ func (p *QueryPlan) Eval() (*Relation, error) {
 	var arena rowArena
 	var seen *rowSet
 	if p.distinct {
-		// Size the distinct set from the driving scan's cardinality: the
-		// greedy order starts at the most selective atom, so this is a cheap
-		// lower-bound hint that avoids most rehashing on large outputs.
 		hint := 64
-		if len(p.steps) > 0 && p.steps[0].est > float64(hint) && p.steps[0].est < 1<<20 {
-			hint = int(p.steps[0].est)
+		if len(p.steps) > 0 {
+			hint = distinctSizeHint(p.steps[0].est)
 		}
 		seen = newRowSet(hint)
 	}
@@ -415,6 +663,11 @@ func (p *QueryPlan) Eval() (*Relation, error) {
 func (p *QueryPlan) Describe() *algebra.PhysNode {
 	var node *algebra.PhysNode
 	for _, s := range p.steps {
+		if s.kind == stepSort {
+			node = algebra.NewPhysNode("Sort",
+				fmt.Sprintf("[%s]", p.slotTerms[s.joinSlot]), s.est, node)
+			continue
+		}
 		a := s.spec.atom
 		scan := algebra.NewPhysNode("IndexScan",
 			fmt.Sprintf("t(%s, %s, %s) perm=%s prefix=%d",
@@ -435,17 +688,28 @@ func (p *QueryPlan) Describe() *algebra.PhysNode {
 				node = gather
 			}
 		case stepMergeJoin:
-			node = algebra.NewPhysNode("MergeJoin",
-				fmt.Sprintf("[%s]", p.slotTerms[s.joinSlot]), 0, node, scan)
+			detail := fmt.Sprintf("[%s]", p.slotTerms[s.joinSlot])
+			if len(s.extraSlots) > 0 {
+				names := make([]string, len(s.extraSlots))
+				for i, sl := range s.extraSlots {
+					names[i] = p.slotTerms[sl].String()
+				}
+				detail += fmt.Sprintf(" residual=[%s]", strings.Join(names, ","))
+			}
+			node = algebra.NewPhysNode("MergeJoin", detail, s.outEst, node, scan)
 		case stepHashJoin:
 			names := make([]string, len(s.keySlots))
 			for i, sl := range s.keySlots {
 				names[i] = p.slotTerms[sl].String()
 			}
+			side := "right"
+			if s.buildLeft {
+				side = "left"
+			}
 			node = algebra.NewPhysNode("HashJoin",
-				fmt.Sprintf("[%s] build=right", strings.Join(names, ",")), 0, node, scan)
+				fmt.Sprintf("[%s] build=%s", strings.Join(names, ","), side), s.outEst, node, scan)
 		case stepCross:
-			node = algebra.NewPhysNode("CrossProduct", "", 0, node, scan)
+			node = algebra.NewPhysNode("CrossProduct", "", s.outEst, node, scan)
 		}
 	}
 	names := make([]string, len(p.head))

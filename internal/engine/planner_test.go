@@ -95,9 +95,12 @@ func TestPlanZeroMatches(t *testing.T) {
 	}
 }
 
-func TestPlanHashJoinNoSharedSortOrder(t *testing.T) {
-	// Triangle: the third atom shares two variables with the pipeline, so no
-	// single sort order covers the join — the planner must pick a hash join.
+func TestPlanTriangleSortBreakUsesSortMerge(t *testing.T) {
+	// Triangle: the third atom shares two variables with the pipeline and
+	// neither is the slot the pipeline is sorted on. With the explicit Sort
+	// operator the planner re-sorts the (tiny) pipeline and merge-joins on
+	// one shared variable with a residual equality on the other; with
+	// sort-merge disabled it falls back to the historical hash join.
 	st := store.New()
 	d := st.Dict()
 	enc := func(s string) cq.Term { return cq.Const(d.EncodeIRI(s)) }
@@ -124,15 +127,22 @@ func TestPlanHashJoinNoSharedSortOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ops := plan.Describe().Operators()
-	found := false
-	for _, op := range ops {
-		if op == "HashJoin" {
-			found = true
+	out := plan.Explain()
+	sorts, merges := 0, 0
+	for _, op := range plan.Describe().Operators() {
+		switch op {
+		case "Sort":
+			sorts++
+		case "MergeJoin":
+			merges++
 		}
 	}
-	if !found {
-		t.Fatalf("triangle should use a hash join, got operators %v\n%s", ops, plan.Explain())
+	if sorts == 0 || merges < 2 {
+		t.Fatalf("triangle should sort-break into merge joins, got %d sorts, %d merges\n%s",
+			sorts, merges, out)
+	}
+	if !strings.Contains(out, "residual=[") {
+		t.Fatalf("two shared variables should leave a residual equality:\n%s", out)
 	}
 	r, err := plan.Eval()
 	if err != nil {
@@ -145,6 +155,31 @@ func TestPlanHashJoinNoSharedSortOrder(t *testing.T) {
 		t.Fatalf("wrong triangle: %v", r.Rows[0])
 	}
 	assertSameAnswers(t, st, q)
+
+	// The hash-join path remains reachable (and correct) when sort-merge
+	// planning is disabled — the benchmark baseline depends on it.
+	enablePlannerDepth = false
+	defer func() { enablePlannerDepth = true }()
+	plan, err = PlanQuery(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasHash := false
+	for _, op := range plan.Describe().Operators() {
+		if op == "HashJoin" {
+			hasHash = true
+		}
+	}
+	if !hasHash {
+		t.Fatalf("with sort-merge disabled the triangle should hash-join:\n%s", plan.Explain())
+	}
+	r, err = plan.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("hash-join triangle matches = %d, want 1", r.Len())
+	}
 }
 
 func TestPlanMergeJoinChosenForChain(t *testing.T) {

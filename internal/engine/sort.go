@@ -1,0 +1,49 @@
+package engine
+
+import "sort"
+
+// sortOp is the explicit Sort physical operator: it drains its input, copies
+// the rows into an arena (upstream operators reuse their output buffers), and
+// re-emits them ordered by one register slot. The planner inserts it at a
+// "sort break" — the point in a left-deep pipeline where the next atom shares
+// variables with the rows produced so far but none of them is the slot the
+// pipeline is currently sorted on — so that a merge join against the atom's
+// already-sorted permutation cursor becomes available again. Long chains then
+// plan as scan → merge → sort → merge instead of cascading hash joins.
+//
+// The sort is stable only by accident of the input order; downstream
+// operators depend solely on the slot being non-decreasing.
+type sortOp struct {
+	in    op
+	slot  int // register slot the output is ordered by
+	width int
+
+	started bool
+	rows    []Row
+	i       int
+}
+
+func (s *sortOp) next() (Row, bool) {
+	if !s.started {
+		s.started = true
+		var arena rowArena
+		for {
+			row, ok := s.in.next()
+			if !ok {
+				break
+			}
+			s.rows = append(s.rows, arena.copyRow(row))
+		}
+		slot := s.slot
+		sort.Slice(s.rows, func(i, j int) bool { return s.rows[i][slot] < s.rows[j][slot] })
+	}
+	if s.i < len(s.rows) {
+		row := s.rows[s.i]
+		s.i++
+		return row, true
+	}
+	return nil, false
+}
+
+// close releases any parallel-scan workers feeding the pipeline below.
+func (s *sortOp) close() { closeOp(s.in) }

@@ -273,7 +273,9 @@ func (db *Database) Answer(q *cq.Query, mode Reasoning) ([][]string, error) {
 
 // ExplainQuery renders the physical plan the engine compiles to answer q
 // directly on the store (explicit triples only): the chosen index-scan
-// permutations, join operators and ordering. For the plans behind a
+// permutations, join operators (merge joins with residual equalities, hash
+// joins with their build side, explicit Sorts at sort breaks) and ordering,
+// annotated with estimated cardinalities. For the plans behind a
 // recommendation, see Recommendation.ExplainPhysical.
 func (db *Database) ExplainQuery(q *cq.Query) (string, error) {
 	p, err := engine.PlanQuery(db.st, q)
