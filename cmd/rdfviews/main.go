@@ -7,7 +7,7 @@
 //
 //	rdfviews -data data.nt -queries workload.cq [-schema schema.nt] \
 //	         [-strategy dfs] [-reasoning post] [-timeout 10s] [-answer] \
-//	         [-explain-physical] [-shards 4] \
+//	         [-explain-physical] [-shards 4] [-exec-dop 4] \
 //	         [-updates updates.nt] [-async-maintain 1024] [-stale-reads wait-fresh]
 //
 // The workload file holds one query per line:
@@ -19,6 +19,14 @@
 // the Gather/ParallelScan operators visible under -explain-physical — using
 // one core per shard when available; updates touch only the owning shard's
 // indexes. The default (1) is the classic single-table layout.
+//
+// -exec-dop N parallelizes rewriting execution over the view extents — the
+// answering tier: large hash joins partition their build extent into N
+// key-hash partitions built concurrently and fan their probe streams out over
+// N workers, and union branches of reformulated rewritings evaluate
+// concurrently. Join build sides are cost-chosen from the extent
+// cardinalities either way (visible as build=left/right under
+// -explain-physical). The default (1) is serial execution.
 //
 // -updates streams triple updates through the maintained views (one triple
 // per line, inserted; a "- " prefix deletes). -async-maintain N maintains
@@ -52,6 +60,7 @@ func main() {
 		maxRows    = flag.Int("maxrows", 10, "max answer rows to print per query")
 		explainPhy = flag.Bool("explain-physical", false, "print the physical plans: view materialization pipelines (scan permutations, merge/sort/hash joins with build sides and row estimates) and rewriting operator trees")
 		shards     = flag.Int("shards", 1, "hash-partition the triple store across N shards (by subject); >1 parallelizes large scans across cores")
+		execDOP    = flag.Int("exec-dop", 1, "degree of parallelism for rewriting execution over view extents: >1 runs large hash joins with partitioned parallel builds and fanned probe streams, and evaluates union branches concurrently")
 		updates    = flag.String("updates", "", "stream triple updates through the maintained views: one triple per line inserts, a '- ' prefix deletes")
 		asyncQueue = flag.Int("async-maintain", 0, "maintain views asynchronously behind a change queue of this depth (0 = synchronous maintenance)")
 		staleReads = flag.String("stale-reads", "serve-stale", "answering policy over asynchronously maintained views: serve-stale|wait-fresh")
@@ -108,7 +117,11 @@ func main() {
 
 	if *explainPhy {
 		fmt.Println()
-		fmt.Print(rec.ExplainPhysical())
+		if *execDOP > 1 {
+			fmt.Print(rec.ExplainPhysicalDOP(*execDOP))
+		} else {
+			fmt.Print(rec.ExplainPhysical())
+		}
 	}
 
 	switch {
@@ -126,6 +139,7 @@ func main() {
 		lv, err := rec.MaintainWithOptions(rdfviews.MaintainOptions{
 			QueueDepth: *asyncQueue,
 			StaleReads: policy,
+			ExecDOP:    *execDOP,
 		})
 		if err != nil {
 			fatal(err)
@@ -151,6 +165,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		mat.ExecDOP = *execDOP
 		fmt.Printf("\nmaterialized %d rows (%d bytes)\n", mat.NumRows(), mat.SizeBytes())
 		answerQueries(w.Len(), *maxRows, mat.Answer)
 	}

@@ -21,6 +21,10 @@ type PhysNode struct {
 	Detail string
 	// EstRows is the operator's estimated output cardinality (0 if unknown).
 	EstRows float64
+	// Build is a hash join's chosen build side ("left" or "right"; empty for
+	// operators without one). It is rendered between Detail and the DOP/row
+	// annotations, so explain surfaces show the executor's actual choice.
+	Build string
 	// DOP is the operator's degree of parallelism: the number of worker
 	// streams an exchange operator (Gather) fans out over. 0 means serial.
 	DOP int
@@ -52,6 +56,10 @@ func (n *PhysNode) render(sb *strings.Builder, depth int) {
 	if n.Detail != "" {
 		sb.WriteString(" ")
 		sb.WriteString(n.Detail)
+	}
+	if n.Build != "" {
+		sb.WriteString(" build=")
+		sb.WriteString(n.Build)
 	}
 	if n.DOP > 0 {
 		fmt.Fprintf(sb, " dop=%d", n.DOP)

@@ -40,6 +40,25 @@ func SortMergeJoinCost(pipe, atom float64) float64 {
 	return SortWeight*pipe*math.Log2(math.Max(pipe, 2)) + MergeWeight*(pipe+atom)
 }
 
+// RewriteBuildMargin is how much cheaper (under HashJoinCost) building a
+// rewriting hash join over its left input must be before the executor flips
+// from the default build=right. Rewriting inputs are materialized view
+// extents whose leaf cardinalities are exact at execution time, so the margin
+// is far smaller than the store planner's buildLeftMargin (which guards
+// against the containment estimate under-reading fan-out joins); it still
+// absorbs estimate drift introduced by selections and inner joins. With the
+// 2:1 build:probe weights this flips the build side once the right input
+// exceeds four times the left.
+const RewriteBuildMargin = 1.5
+
+// HashJoinBuildLeft reports whether a hash join that is free to choose its
+// build side should build the table over its left input: building left must
+// beat building right by RewriteBuildMargin. Ties (including the unknown
+// 0-vs-0 case of estimate-free explains) keep the historical build=right.
+func HashJoinBuildLeft(left, right float64) bool {
+	return HashJoinCost(left, right)*RewriteBuildMargin < HashJoinCost(right, left)
+}
+
 // PlanCosting carries the estimated execution profile of a rewriting plan.
 type PlanCosting struct {
 	// Card is the estimated output cardinality.

@@ -2,9 +2,11 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"rdfviews/internal/algebra"
+	"rdfviews/internal/cost"
 	"rdfviews/internal/cq"
 	"rdfviews/internal/dict"
 )
@@ -23,6 +25,28 @@ func MapResolver(m map[algebra.ViewID]*Relation) ViewResolver {
 	}
 }
 
+// ExecOptions tunes rewriting execution. The zero value is the historical
+// serial executor.
+type ExecOptions struct {
+	// DOP is the degree of parallelism parallel-eligible rewriting operators
+	// run at: a hash join partitions its build extent into DOP key-hash
+	// partitions built concurrently and fans its probe stream out over DOP
+	// worker goroutines; a union evaluates up to DOP branches concurrently.
+	// 0 or 1 keeps every operator serial.
+	DOP int
+}
+
+// parallelRewriteMinRows is the estimated operator input size below which
+// fanning rewriting execution out over goroutines is not worth the channel
+// and copy overhead. Variable so tests can force the parallel operators on
+// small fixtures.
+var parallelRewriteMinRows = 1024.0
+
+// enableRewriteBuildSide gates the cost-chosen hash-join build side; false
+// reproduces the historical always-build-right executor, kept as the
+// benchmark baseline (BenchmarkRewriteExecBuildSide).
+var enableRewriteBuildSide = true
+
 // Execute evaluates a rewriting plan over materialized views. This is the
 // query-answering path of the three-tier deployment scenario: workload
 // queries run against the recommended views only, with no access to the
@@ -31,10 +55,20 @@ func MapResolver(m map[algebra.ViewID]*Relation) ViewResolver {
 // deduplicating projections and unions — and drained once; all structural
 // validation happens at compile time.
 func Execute(p algebra.Plan, resolve ViewResolver) (*Relation, error) {
-	root, err := compileRel(p, resolve)
+	return ExecuteWithOptions(p, resolve, ExecOptions{})
+}
+
+// ExecuteWithOptions is Execute with explicit execution options; the zero
+// value reproduces Execute exactly. With DOP > 1 large hash joins run with
+// partitioned parallel builds and fanned-out probe streams, and union
+// branches evaluate concurrently (see ExecOptions.DOP); answers are
+// identical to serial execution in all cases.
+func ExecuteWithOptions(p algebra.Plan, resolve ViewResolver, opts ExecOptions) (*Relation, error) {
+	root, _, err := compileRel(p, resolve, opts)
 	if err != nil {
 		return nil, err
 	}
+	defer closeRel(root) // release parallel workers on every exit path
 	out := NewRelation(root.cols())
 	copyRows := !root.stableRows()
 	for {
@@ -52,7 +86,9 @@ func Execute(p algebra.Plan, resolve ViewResolver) (*Relation, error) {
 
 // rop is a streaming relational operator over materialized views. An
 // operator whose stableRows() is false reuses one output buffer across
-// next() calls; consumers must copy rows they retain.
+// next() calls; consumers must copy rows they retain. Operators tolerate
+// next() calls after exhaustion (they keep reporting EOF), and operators
+// owning goroutines implement close() (see closeRel).
 type rop interface {
 	cols() []cq.Term
 	next() (Row, bool)
@@ -68,81 +104,138 @@ func termIndex(cols []cq.Term, t cq.Term) int {
 	return -1
 }
 
-func compileRel(p algebra.Plan, resolve ViewResolver) (rop, error) {
+// condsEst discounts an input estimate for equality conditions. With no
+// per-column statistics on the extent surface each condition is charged a
+// flat 1/2 selectivity — crude, but enough to order build sides and size
+// dedup sets, and never read as exact.
+func condsEst(est float64, conds int) float64 {
+	for i := 0; i < conds && est > 1; i++ {
+		est /= 2
+	}
+	return est
+}
+
+// scanEst estimates a view scan's output: the extent cardinality, discounted
+// to its square root per repeated-label equality filter (the same
+// √n-distinct reading storeCards applies to repeated-variable atoms).
+func scanEst(rows float64, eqPairs int) float64 {
+	for i := 0; i < eqPairs; i++ {
+		rows = math.Sqrt(rows)
+	}
+	return rows
+}
+
+// compileRel compiles a plan node to its streaming operator and the node's
+// estimated output cardinality. Leaf estimates are exact (the resolved
+// extents' row counts); inner estimates use the same containment-style
+// arithmetic the store planner uses. The estimates drive the hash joins'
+// cost-chosen build sides, the dedup size hints and the parallel-operator
+// thresholds.
+func compileRel(p algebra.Plan, resolve ViewResolver, opts ExecOptions) (rop, float64, error) {
 	switch n := p.(type) {
 	case *algebra.Scan:
 		base, err := resolve(n.View)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if len(n.Cols) != base.Arity() {
-			return nil, fmt.Errorf("engine: scan of v%d relabels %d columns, view has %d",
+			return nil, 0, fmt.Errorf("engine: scan of v%d relabels %d columns, view has %d",
 				int(n.View), len(n.Cols), base.Arity())
 		}
-		return &relScanOp{view: n.View, base: base, labels: n.Cols, eq: repeatedLabelPairs(n.Cols)}, nil
+		eq := repeatedLabelPairs(n.Cols)
+		op := &relScanOp{view: n.View, rows: base.Rows, labels: n.Cols, eq: eq}
+		return op, scanEst(float64(len(base.Rows)), len(eq)), nil
 	case *algebra.Select:
-		in, err := compileRel(n.Input, resolve)
+		in, est, err := compileRel(n.Input, resolve, opts)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		tests, err := compileConds(in.cols(), n.Conds)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return &filterOp{in: in, tests: tests}, nil
+		return &filterOp{in: in, tests: tests}, condsEst(est, len(n.Conds)), nil
 	case *algebra.Project:
-		in, err := compileRel(n.Input, resolve)
+		in, est, err := compileRel(n.Input, resolve, opts)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return newProjectOp(in, n.Cols)
+		// A filter over a large splittable extent feeds the deduplicating
+		// projection through an exchange: the predicate work fans out over
+		// DOP workers while the dedup stays at the (serial) consumer.
+		if opts.DOP > 1 && est >= parallelRewriteMinRows {
+			if f, ok := in.(*filterOp); ok {
+				if parts := splitRel(f, opts.DOP); parts != nil {
+					in = newRelExchange(f.cols(), parts, opts.DOP)
+				}
+			}
+		}
+		op, err := newProjectOp(in, n.Cols, distinctSizeHint(est))
+		if err != nil {
+			return nil, 0, err
+		}
+		return op, est, nil
 	case *algebra.Join:
-		left, err := compileRel(n.Left, resolve)
+		left, lest, err := compileRel(n.Left, resolve, opts)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		right, err := compileRel(n.Right, resolve)
+		right, rest, err := compileRel(n.Right, resolve, opts)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		shape, err := joinShape(left.cols(), right.cols(), n.Conds)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		lIdx := make([]int, len(shape.keys))
 		rIdx := make([]int, len(shape.keys))
 		for i, k := range shape.keys {
 			lIdx[i], rIdx[i] = k.li, k.ri
 		}
-		return &hashJoinRelOp{left: left, right: right, shape: shape, lIdx: lIdx, rIdx: rIdx}, nil
+		buildLeft := enableRewriteBuildSide && cost.HashJoinBuildLeft(lest, rest)
+		est := joinOutEst(lest, rest, len(shape.keys))
+		if opts.DOP > 1 && lest+rest >= parallelRewriteMinRows {
+			return newParallelHashJoin(left, right, shape, lIdx, rIdx, buildLeft, opts.DOP), est, nil
+		}
+		return &hashJoinRelOp{left: left, right: right, shape: shape, lIdx: lIdx, rIdx: rIdx,
+			buildLeft: buildLeft, leftWidth: len(left.cols())}, est, nil
 	case *algebra.Union:
 		if len(n.Branches) == 0 {
-			return nil, fmt.Errorf("engine: empty union")
+			return nil, 0, fmt.Errorf("engine: empty union")
 		}
 		branches := make([]rop, len(n.Branches))
+		sum := 0.0
 		for i, b := range n.Branches {
-			in, err := compileRel(b, resolve)
+			in, est, err := compileRel(b, resolve, opts)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			if i > 0 && len(in.cols()) != len(branches[0].cols()) {
-				return nil, fmt.Errorf("engine: union arity mismatch: %d vs %d",
+				return nil, 0, fmt.Errorf("engine: union arity mismatch: %d vs %d",
 					len(in.cols()), len(branches[0].cols()))
 			}
 			branches[i] = in
+			sum += est
 		}
-		return &unionOp{branches: branches, seen: newRowSet(64)}, nil
+		hint := distinctSizeHint(sum)
+		if opts.DOP > 1 && len(branches) > 1 && sum >= parallelRewriteMinRows {
+			return newParallelUnion(branches, hint, opts.DOP), sum, nil
+		}
+		return &unionOp{branches: branches, seen: newRowSet(hint)}, sum, nil
 	default:
-		return nil, fmt.Errorf("engine: unknown plan node %T", p)
+		return nil, 0, fmt.Errorf("engine: unknown plan node %T", p)
 	}
 }
 
 // relScanOp streams a materialized view's rows under the scan's relabeling. A
 // relabeling that repeats a label (possible after fusion renamings) implies
 // an equality filter; rows are shared with the base relation, not copied.
+// The row slice is immutable for the operator's lifetime, so a scan splits
+// into independent range sub-scans for parallel draining (see splitRel).
 type relScanOp struct {
 	view   algebra.ViewID
-	base   *Relation
+	rows   []Row
 	labels []cq.Term
 	eq     [][2]int
 	i      int
@@ -152,8 +245,8 @@ func (s *relScanOp) cols() []cq.Term  { return s.labels }
 func (s *relScanOp) stableRows() bool { return true }
 
 func (s *relScanOp) next() (Row, bool) {
-	for s.i < len(s.base.Rows) {
-		row := s.base.Rows[s.i]
+	for s.i < len(s.rows) {
+		row := s.rows[s.i]
 		s.i++
 		ok := true
 		for _, pair := range s.eq {
@@ -167,6 +260,24 @@ func (s *relScanOp) next() (Row, bool) {
 		}
 	}
 	return nil, false
+}
+
+// split partitions the remaining rows into contiguous ranges, one sub-scan
+// per part, for parallel draining.
+func (s *relScanOp) split(parts int) []rop {
+	rows := s.rows[s.i:]
+	if parts > len(rows) {
+		parts = len(rows)
+	}
+	if parts <= 1 {
+		return nil
+	}
+	out := make([]rop, parts)
+	for p := 0; p < parts; p++ {
+		lo, hi := p*len(rows)/parts, (p+1)*len(rows)/parts
+		out[p] = &relScanOp{view: s.view, rows: rows[lo:hi], labels: s.labels, eq: s.eq}
+	}
+	return out
 }
 
 func repeatedLabelPairs(cols []cq.Term) [][2]int {
@@ -217,6 +328,7 @@ type filterOp struct {
 
 func (f *filterOp) cols() []cq.Term  { return f.in.cols() }
 func (f *filterOp) stableRows() bool { return f.in.stableRows() }
+func (f *filterOp) close()           { closeRel(f.in) }
 
 func (f *filterOp) next() (Row, bool) {
 	for {
@@ -242,6 +354,20 @@ func (f *filterOp) next() (Row, bool) {
 	}
 }
 
+// split distributes the filter over its input's split streams (the compiled
+// tests are read-only and shared), so a filtered view-extent scan fans out.
+func (f *filterOp) split(parts int) []rop {
+	ins := splitRel(f.in, parts)
+	if ins == nil {
+		return nil
+	}
+	out := make([]rop, len(ins))
+	for i, in := range ins {
+		out[i] = &filterOp{in: in, tests: f.tests}
+	}
+	return out
+}
+
 // projectOp restricts/reorders columns (π) and eliminates duplicates;
 // constant labels project as constant-valued columns.
 type projectOp struct {
@@ -252,7 +378,7 @@ type projectOp struct {
 	seen    *rowSet
 }
 
-func newProjectOp(in rop, colLabels []cq.Term) (*projectOp, error) {
+func newProjectOp(in rop, colLabels []cq.Term, sizeHint int) (*projectOp, error) {
 	inCols := in.cols()
 	idx := make([]int, len(colLabels))
 	for i, c := range colLabels {
@@ -271,12 +397,13 @@ func newProjectOp(in rop, colLabels []cq.Term) (*projectOp, error) {
 		labels:  append([]cq.Term(nil), colLabels...),
 		idx:     idx,
 		scratch: make(Row, len(colLabels)),
-		seen:    newRowSet(64),
+		seen:    newRowSet(sizeHint),
 	}, nil
 }
 
 func (p *projectOp) cols() []cq.Term  { return p.labels }
 func (p *projectOp) stableRows() bool { return true }
+func (p *projectOp) close()           { closeRel(p.in) }
 
 func (p *projectOp) next() (Row, bool) {
 	for {
@@ -309,6 +436,35 @@ type joinShapeInfo struct {
 	rightKeep []int
 }
 
+// matchKeys checks the join keys between a probe row and a build row; with
+// buildLeft the probe row comes from the right input, otherwise from the
+// left. Shared by the serial and partitioned parallel hash joins.
+func (sh *joinShapeInfo) matchKeys(prow, brow Row, buildLeft bool) bool {
+	for _, k := range sh.keys {
+		if buildLeft {
+			if prow[k.ri] != brow[k.li] {
+				return false
+			}
+		} else if prow[k.li] != brow[k.ri] {
+			return false
+		}
+	}
+	return true
+}
+
+// assemble fills dst with the join's output row — left values, then the
+// kept right values — from the current probe and build rows.
+func (sh *joinShapeInfo) assemble(dst, prow, brow Row, buildLeft bool, leftWidth int) {
+	l, r := prow, brow
+	if buildLeft {
+		l, r = brow, prow
+	}
+	copy(dst, l)
+	for i, ri := range sh.rightKeep {
+		dst[leftWidth+i] = r[ri]
+	}
+}
+
 func joinShape(leftCols, rightCols []cq.Term, conds []algebra.Cond) (joinShapeInfo, error) {
 	var sh joinShapeInfo
 	// Join keys: shared labels (natural join) plus explicit conditions.
@@ -339,20 +495,29 @@ func joinShape(leftCols, rightCols []cq.Term, conds []algebra.Cond) (joinShapeIn
 	return sh, nil
 }
 
-// hashJoinRelOp hash-joins two streams: the right input is drained into an
-// idTable keyed by a 64-bit key hash with chained row indexes (verified by
-// value), the left input streams through as the probe side — the same chain
-// scheme hashJoinOp uses over the store.
+// hashJoinRelOp hash-joins two streams. The build side — chosen by
+// cost.HashJoinBuildLeft over the sides' estimated cardinalities, right by
+// default — is drained into an idTable keyed by a 64-bit key hash with
+// chained row indexes (verified by value), and the other side streams
+// through as the probe. Before paying for the build, one probe row is peeked:
+// an empty probe side makes the join empty regardless of the build extent,
+// so the build is skipped entirely. Output columns are always the left
+// columns followed by the kept right columns, whichever side builds.
 type hashJoinRelOp struct {
 	left, right rop
 	shape       joinShapeInfo
 	lIdx, rIdx  []int // key column indexes, precomputed from shape.keys
+	buildLeft   bool  // cost-chosen build side
+	leftWidth   int   // arity of the left input, for output assembly
 
 	built    bool
+	eof      bool
 	table    *idTable // key hash -> chain head, as build row index + 1
 	brows    []Row    // build-side rows (copied: they may share a buffer)
 	chains   []int32  // collision chain, same encoding as table
-	lrow     Row
+	peeked   Row      // pre-build peeked probe row, replayed first
+	havePeek bool
+	prow     Row // current probe row
 	chain    int32
 	emitting bool
 	out      Row
@@ -361,15 +526,36 @@ type hashJoinRelOp struct {
 func (j *hashJoinRelOp) cols() []cq.Term  { return j.shape.outCols }
 func (j *hashJoinRelOp) stableRows() bool { return false }
 
+func (j *hashJoinRelOp) close() {
+	closeRel(j.left)
+	closeRel(j.right)
+}
+
+// buildSide/probeSide orient the operator around its chosen build side.
+func (j *hashJoinRelOp) buildSide() (rop, []int) {
+	if j.buildLeft {
+		return j.left, j.lIdx
+	}
+	return j.right, j.rIdx
+}
+
+func (j *hashJoinRelOp) probeSide() (rop, []int) {
+	if j.buildLeft {
+		return j.right, j.rIdx
+	}
+	return j.left, j.lIdx
+}
+
 func (j *hashJoinRelOp) build() {
 	j.table = newIDTable(64)
 	var arena rowArena
+	in, idx := j.buildSide()
 	for {
-		row, ok := j.right.next()
+		row, ok := in.next()
 		if !ok {
 			break
 		}
-		h := hashValues(row, j.rIdx)
+		h := hashValues(row, idx)
 		j.brows = append(j.brows, arena.copyRow(row))
 		j.chains = append(j.chains, j.table.get(h))
 		j.table.put(h, int32(len(j.brows)))
@@ -379,41 +565,51 @@ func (j *hashJoinRelOp) build() {
 }
 
 func (j *hashJoinRelOp) next() (Row, bool) {
+	if j.eof {
+		return nil, false
+	}
 	if !j.built {
+		// Peek one probe row before building: a zero-row probe extent makes
+		// the join empty, so the (possibly huge) build side is never drained.
+		probe, _ := j.probeSide()
+		row, ok := probe.next()
+		if !ok {
+			j.eof = true
+			return nil, false
+		}
+		j.peeked, j.havePeek = row, true
 		j.build()
 	}
+	probe, pIdx := j.probeSide()
 	for {
 		if j.emitting {
 			for j.chain != 0 {
 				r := j.brows[j.chain-1]
 				j.chain = j.chains[j.chain-1]
-				match := true
-				for _, k := range j.shape.keys {
-					if j.lrow[k.li] != r[k.ri] {
-						match = false
-						break
-					}
-				}
-				if !match {
+				if !j.shape.matchKeys(j.prow, r, j.buildLeft) {
 					continue
 				}
-				copy(j.out, j.lrow)
-				for i, ri := range j.shape.rightKeep {
-					j.out[len(j.lrow)+i] = r[ri]
-				}
+				j.shape.assemble(j.out, j.prow, r, j.buildLeft, j.leftWidth)
 				return j.out, true
 			}
 			j.emitting = false
 		}
-		lrow, ok := j.left.next()
+		var prow Row
+		var ok bool
+		if j.havePeek {
+			prow, ok, j.havePeek = j.peeked, true, false
+		} else {
+			prow, ok = probe.next()
+		}
 		if !ok {
+			j.eof = true
 			return nil, false
 		}
-		chain := j.table.get(hashValues(lrow, j.lIdx))
+		chain := j.table.get(hashValues(prow, pIdx))
 		if chain == 0 {
 			continue
 		}
-		j.lrow = lrow
+		j.prow = prow
 		j.chain = chain
 		j.emitting = true
 	}
@@ -421,6 +617,8 @@ func (j *hashJoinRelOp) next() (Row, bool) {
 
 // unionOp streams the set union of its branches (∪), deduplicating across
 // branches; columns are aligned positionally and labeled by the first branch.
+// The dedup set is pre-sized from the branches' resolved cardinalities
+// (clamped by distinctSizeHint) instead of the historical fixed 64 slots.
 type unionOp struct {
 	branches []rop
 	bi       int
@@ -429,6 +627,12 @@ type unionOp struct {
 
 func (u *unionOp) cols() []cq.Term  { return u.branches[0].cols() }
 func (u *unionOp) stableRows() bool { return true }
+
+func (u *unionOp) close() {
+	for _, b := range u.branches {
+		closeRel(b)
+	}
+}
 
 func (u *unionOp) next() (Row, bool) {
 	for u.bi < len(u.branches) {
@@ -449,11 +653,44 @@ func (u *unionOp) next() (Row, bool) {
 // cardinalities supplied by card (may be nil). It is the explain surface for
 // rewritings, mirroring QueryPlan.Describe for store-level queries.
 func DescribePlan(p algebra.Plan, card func(algebra.ViewID) float64) (*algebra.PhysNode, error) {
-	_, node, err := describeRel(p, card)
+	return DescribePlanWithOptions(p, card, ExecOptions{})
+}
+
+// DescribePlanWithOptions is DescribePlan under explicit execution options:
+// with DOP > 1 the hash joins and unions that would run partitioned/parallel
+// are annotated with their degree of parallelism, mirroring
+// ExecuteWithOptions' thresholds on the supplied estimates.
+func DescribePlanWithOptions(p algebra.Plan, card func(algebra.ViewID) float64, opts ExecOptions) (*algebra.PhysNode, error) {
+	_, node, _, err := describeRel(p, card, opts)
 	return node, err
 }
 
-func describeRel(p algebra.Plan, card func(algebra.ViewID) float64) ([]cq.Term, *algebra.PhysNode, error) {
+// selectChainOverScan reports whether the plan is a chain of selections
+// bottoming out at a view scan — the shape that compiles to a splittable
+// filterOp, which compileRel wraps in a parallel exchange under an eligible
+// projection.
+func selectChainOverScan(p algebra.Plan) bool {
+	s, ok := p.(*algebra.Select)
+	if !ok {
+		return false
+	}
+	for {
+		switch in := s.Input.(type) {
+		case *algebra.Select:
+			s = in
+		case *algebra.Scan:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// describeRel mirrors compileRel symbolically: same shapes, same estimate
+// arithmetic, same build-side and parallelism choices, but leaf cardinalities
+// come from card instead of resolved extents. Every node carries its
+// estimated output cardinality; hash joins carry their chosen build side.
+func describeRel(p algebra.Plan, card func(algebra.ViewID) float64, opts ExecOptions) ([]cq.Term, *algebra.PhysNode, float64, error) {
 	switch n := p.(type) {
 	case *algebra.Scan:
 		est := 0.0
@@ -465,81 +702,107 @@ func describeRel(p algebra.Plan, card func(algebra.ViewID) float64) ([]cq.Term, 
 			labels[i] = c.String()
 		}
 		detail := fmt.Sprintf("v%d[%s]", int(n.View), strings.Join(labels, ","))
-		if eq := repeatedLabelPairs(n.Cols); len(eq) > 0 {
+		eq := repeatedLabelPairs(n.Cols)
+		if len(eq) > 0 {
 			detail += fmt.Sprintf(" +%d equality filters", len(eq))
+			est = scanEst(est, len(eq))
 		}
-		return n.Cols, algebra.NewPhysNode("ViewScan", detail, est), nil
+		return n.Cols, algebra.NewPhysNode("ViewScan", detail, est), est, nil
 	case *algebra.Select:
-		cols, child, err := describeRel(n.Input, card)
+		cols, child, est, err := describeRel(n.Input, card, opts)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		if _, err := compileConds(cols, n.Conds); err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		parts := make([]string, len(n.Conds))
 		for i, c := range n.Conds {
 			parts[i] = c.String()
 		}
-		return cols, algebra.NewPhysNode("Filter", "["+strings.Join(parts, "&")+"]", 0, child), nil
+		est = condsEst(est, len(n.Conds))
+		return cols, algebra.NewPhysNode("Filter", "["+strings.Join(parts, "&")+"]", est, child), est, nil
 	case *algebra.Project:
-		cols, child, err := describeRel(n.Input, card)
+		cols, child, est, err := describeRel(n.Input, card, opts)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		for _, c := range n.Cols {
 			if c.IsVar() && termIndex(cols, c) < 0 {
-				return nil, nil, fmt.Errorf("engine: projection column %v not in %v", c, cols)
+				return nil, nil, 0, fmt.Errorf("engine: projection column %v not in %v", c, cols)
 			}
 		}
 		labels := make([]string, len(n.Cols))
 		for i, c := range n.Cols {
 			labels[i] = c.String()
 		}
-		return n.Cols, algebra.NewPhysNode("Project",
-			"["+strings.Join(labels, ",")+"] distinct", 0, child), nil
-	case *algebra.Join:
-		lcols, lnode, err := describeRel(n.Left, card)
-		if err != nil {
-			return nil, nil, err
+		// Mirror compileRel's exchange under a deduplicating projection: a
+		// large filter over a splittable extent scan fans out over DOP
+		// workers, so its Filter node carries the dop annotation.
+		if opts.DOP > 1 && est >= parallelRewriteMinRows && selectChainOverScan(n.Input) {
+			child.DOP = opts.DOP
 		}
-		rcols, rnode, err := describeRel(n.Right, card)
+		return n.Cols, algebra.NewPhysNode("Project",
+			"["+strings.Join(labels, ",")+"] distinct", est, child), est, nil
+	case *algebra.Join:
+		lcols, lnode, lest, err := describeRel(n.Left, card, opts)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
+		}
+		rcols, rnode, rest, err := describeRel(n.Right, card, opts)
+		if err != nil {
+			return nil, nil, 0, err
 		}
 		sh, err := joinShape(lcols, rcols, n.Conds)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		parts := make([]string, len(sh.keys))
 		for i, k := range sh.keys {
 			parts[i] = fmt.Sprintf("%s=%s", lcols[k.li], rcols[k.ri])
 		}
-		op, detail := "HashJoin", "["+strings.Join(parts, "&")+"] build=right"
+		est := joinOutEst(lest, rest, len(sh.keys))
+		op, detail := "HashJoin", "["+strings.Join(parts, "&")+"]"
 		if len(sh.keys) == 0 {
 			op, detail = "CrossProduct", ""
 		}
-		return sh.outCols, algebra.NewPhysNode(op, detail, 0, lnode, rnode), nil
+		node := algebra.NewPhysNode(op, detail, est, lnode, rnode)
+		if op == "HashJoin" {
+			node.Build = "right"
+			if enableRewriteBuildSide && cost.HashJoinBuildLeft(lest, rest) {
+				node.Build = "left"
+			}
+		}
+		if opts.DOP > 1 && lest+rest >= parallelRewriteMinRows {
+			node.DOP = opts.DOP
+		}
+		return sh.outCols, node, est, nil
 	case *algebra.Union:
 		if len(n.Branches) == 0 {
-			return nil, nil, fmt.Errorf("engine: empty union")
+			return nil, nil, 0, fmt.Errorf("engine: empty union")
 		}
 		var cols []cq.Term
+		sum := 0.0
 		children := make([]*algebra.PhysNode, len(n.Branches))
 		for i, b := range n.Branches {
-			bcols, bnode, err := describeRel(b, card)
+			bcols, bnode, best, err := describeRel(b, card, opts)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, 0, err
 			}
 			if i == 0 {
 				cols = bcols
 			} else if len(bcols) != len(cols) {
-				return nil, nil, fmt.Errorf("engine: union arity mismatch: %d vs %d", len(bcols), len(cols))
+				return nil, nil, 0, fmt.Errorf("engine: union arity mismatch: %d vs %d", len(bcols), len(cols))
 			}
 			children[i] = bnode
+			sum += best
 		}
-		return cols, algebra.NewPhysNode("Union", "distinct", 0, children...), nil
+		node := algebra.NewPhysNode("Union", "distinct", sum, children...)
+		if opts.DOP > 1 && len(n.Branches) > 1 && sum >= parallelRewriteMinRows {
+			node.DOP = min(opts.DOP, len(n.Branches))
+		}
+		return cols, node, sum, nil
 	default:
-		return nil, nil, fmt.Errorf("engine: unknown plan node %T", p)
+		return nil, nil, 0, fmt.Errorf("engine: unknown plan node %T", p)
 	}
 }

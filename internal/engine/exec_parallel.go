@@ -1,0 +1,432 @@
+package engine
+
+import (
+	"sync"
+
+	"rdfviews/internal/cq"
+)
+
+// Parallel rewriting execution over view extents: the answering-tier
+// counterpart of the store-side exchange operators in parallel.go. Three
+// shapes exist, all selected by ExecOptions.DOP at compile time and all
+// producing exactly the serial operators' row sets:
+//
+//   - relExchangeOp fans a set of independent substreams (range-split
+//     view-extent scans, filters over them, or whole union branches) out over
+//     worker goroutines that drain them into arena-copied batches on one
+//     shared channel — the rewriting-side mirror of exchangeOp;
+//   - parallelUnionOp evaluates union branches concurrently through a
+//     relExchangeOp and deduplicates at the consumer against one shared
+//     rowSet sized from the branches' resolved cardinalities;
+//   - parallelHashJoinRelOp partitions its build extent by key hash into DOP
+//     partitions whose hash tables are built concurrently, then fans the
+//     probe stream out over worker goroutines (independent range substreams
+//     when the probe side splits, a single drainer otherwise) that probe the
+//     read-only partitions and emit joined rows in batches.
+//
+// Workers run to completion when the plan is drained; close() (deferred by
+// ExecuteWithOptions) releases them early if the pipeline is abandoned.
+
+// execBatchRows is the number of rows a rewriting worker accumulates before
+// handing a batch to the consumer; batch rows are arena copies owned by the
+// consumer.
+const execBatchRows = 256
+
+// closeRel releases any parallel workers below a rewriting operator; safe on
+// operators without goroutines. Serial composite operators propagate the
+// close to their inputs.
+func closeRel(o rop) {
+	if c, ok := o.(interface{ close() }); ok {
+		c.close()
+	}
+}
+
+// splitRel splits an operator into independent substreams for parallel
+// draining, or nil when the operator does not support splitting (dedup and
+// join operators must see their whole stream).
+func splitRel(o rop, parts int) []rop {
+	if parts <= 1 {
+		return nil
+	}
+	if s, ok := o.(interface{ split(int) []rop }); ok {
+		return s.split(parts)
+	}
+	return nil
+}
+
+// relExchangeOp drains independent source streams on up to workers worker
+// goroutines, all feeding one channel of arena-copied row batches; batches
+// surface in whatever order workers produce them (rewriting output order is
+// immaterial under set semantics).
+type relExchangeOp struct {
+	labels  []cq.Term
+	sources []rop
+	workers int
+
+	started bool
+	closed  bool
+	done    chan struct{}
+	ch      chan []Row
+	batch   []Row
+	i       int
+}
+
+func newRelExchange(cols []cq.Term, sources []rop, workers int) *relExchangeOp {
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &relExchangeOp{labels: cols, sources: sources, workers: workers}
+}
+
+func (e *relExchangeOp) cols() []cq.Term  { return e.labels }
+func (e *relExchangeOp) stableRows() bool { return true }
+
+func (e *relExchangeOp) start() {
+	e.done = make(chan struct{})
+	e.ch = make(chan []Row, e.workers)
+	idx := make(chan int, len(e.sources))
+	for i := range e.sources {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if !drainRelTo(e.sources[i], e.ch, e.done) {
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(e.ch)
+	}()
+	e.started = true
+}
+
+func (e *relExchangeOp) next() (Row, bool) {
+	if !e.started {
+		e.start()
+	}
+	for {
+		if e.i < len(e.batch) {
+			row := e.batch[e.i]
+			e.i++
+			return row, true
+		}
+		batch, ok := <-e.ch
+		if !ok {
+			return nil, false
+		}
+		e.batch, e.i = batch, 0
+	}
+}
+
+func (e *relExchangeOp) close() {
+	if e.started && !e.closed {
+		close(e.done)
+		for range e.ch { // unblock any worker parked on send
+		}
+	}
+	e.closed = true
+	for _, s := range e.sources {
+		closeRel(s)
+	}
+}
+
+// drainRelTo streams one operator's rows into out in batches, stopping early
+// when done closes; it reports whether the source was fully drained. Rows
+// from stable sources are forwarded as-is (they are never overwritten, so
+// consumers own them already); unstable sources' reused buffers are
+// arena-copied first. Either way, sent rows are private to the consumer.
+func drainRelTo(src rop, out chan<- []Row, done <-chan struct{}) bool {
+	var batch []Row
+	var arena rowArena
+	stable := src.stableRows()
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		select {
+		case out <- batch:
+			batch = nil
+			return true
+		case <-done:
+			return false
+		}
+	}
+	for {
+		row, ok := src.next()
+		if !ok {
+			break
+		}
+		if !stable {
+			row = arena.copyRow(row)
+		}
+		batch = append(batch, row)
+		if len(batch) == execBatchRows {
+			if !flush() {
+				return false
+			}
+		}
+	}
+	return flush()
+}
+
+// parallelUnionOp evaluates union branches concurrently (up to DOP at a
+// time) and deduplicates at the consumer: branch workers feed one exchange
+// channel, and every arriving row is tested against a single shared rowSet —
+// rows are private arena copies, so the set keeps references without
+// copying again.
+type parallelUnionOp struct {
+	ex   *relExchangeOp
+	seen *rowSet
+}
+
+func newParallelUnion(branches []rop, sizeHint, dop int) *parallelUnionOp {
+	return &parallelUnionOp{
+		ex:   newRelExchange(branches[0].cols(), branches, dop),
+		seen: newRowSet(sizeHint),
+	}
+}
+
+func (u *parallelUnionOp) cols() []cq.Term  { return u.ex.cols() }
+func (u *parallelUnionOp) stableRows() bool { return true }
+func (u *parallelUnionOp) close()           { u.ex.close() }
+
+func (u *parallelUnionOp) next() (Row, bool) {
+	for {
+		row, ok := u.ex.next()
+		if !ok {
+			return nil, false
+		}
+		if u.seen.add(row) {
+			return row, true
+		}
+	}
+}
+
+// joinPartition is one key-hash partition of a parallel hash join's build
+// side: the same idTable + chain scheme hashJoinRelOp uses, immutable once
+// built, so probe workers read it without locks.
+type joinPartition struct {
+	table  *idTable
+	rows   []Row
+	hashes []uint64
+	chains []int32
+}
+
+// parallelHashJoinRelOp is the partitioned parallel hash join over view
+// extents. The build side is drained once and scattered into dop partitions
+// by key hash; partition tables build concurrently; probe workers then fan
+// out (one per split probe substream) and probe the partition their row's
+// key hash owns, emitting assembled output rows in batches. The empty-probe
+// fast path of hashJoinRelOp is preserved: one probe row is peeked before
+// the build, and a zero-row probe skips the build entirely.
+type parallelHashJoinRelOp struct {
+	left, right rop
+	shape       joinShapeInfo
+	lIdx, rIdx  []int
+	buildLeft   bool
+	dop         int
+	leftWidth   int
+
+	started bool
+	closed  bool
+	done    chan struct{}
+	ch      chan []Row
+	parts   []joinPartition
+	batch   []Row
+	i       int
+}
+
+func newParallelHashJoin(left, right rop, shape joinShapeInfo, lIdx, rIdx []int, buildLeft bool, dop int) *parallelHashJoinRelOp {
+	return &parallelHashJoinRelOp{left: left, right: right, shape: shape, lIdx: lIdx, rIdx: rIdx,
+		buildLeft: buildLeft, dop: dop, leftWidth: len(left.cols())}
+}
+
+func (j *parallelHashJoinRelOp) cols() []cq.Term  { return j.shape.outCols }
+func (j *parallelHashJoinRelOp) stableRows() bool { return true }
+
+func (j *parallelHashJoinRelOp) start() {
+	j.started = true
+	j.done = make(chan struct{})
+	j.ch = make(chan []Row, j.dop)
+	build, bIdx := j.right, j.rIdx
+	probe, pIdx := j.left, j.lIdx
+	if j.buildLeft {
+		build, bIdx, probe, pIdx = j.left, j.lIdx, j.right, j.rIdx
+	}
+	streams, any := splitProbeStreams(probe, j.dop)
+	if !any {
+		close(j.ch) // empty probe: the join is empty, never drain the build
+		return
+	}
+	j.buildPartitions(build, bIdx)
+	var wg sync.WaitGroup
+	for _, s := range streams {
+		wg.Add(1)
+		go func(s rop) {
+			defer wg.Done()
+			j.probeStream(s, pIdx)
+		}(s)
+	}
+	go func() {
+		wg.Wait()
+		close(j.ch)
+	}()
+}
+
+// splitProbeStreams splits the probe side into independent substreams when it
+// supports splitting (view-extent scans and filters over them; one stream
+// otherwise) and peeks for a first probe row across them: when every stream
+// is empty the caller skips the build entirely. The peeked row is pushed
+// back onto its stream; streams peeked to EOF stay in the set — operators
+// keep reporting EOF after exhaustion.
+func splitProbeStreams(probe rop, parts int) ([]rop, bool) {
+	streams := splitRel(probe, parts)
+	if streams == nil {
+		streams = []rop{probe}
+	}
+	for i := range streams {
+		row, ok := streams[i].next()
+		if !ok {
+			continue
+		}
+		streams[i] = &pushbackRel{in: streams[i], row: append(Row(nil), row...), have: true}
+		return streams, true
+	}
+	return nil, false
+}
+
+// pushbackRel replays one peeked row (a private copy) before the rest of its
+// input's stream.
+type pushbackRel struct {
+	in   rop
+	row  Row
+	have bool
+}
+
+func (p *pushbackRel) cols() []cq.Term  { return p.in.cols() }
+func (p *pushbackRel) stableRows() bool { return p.in.stableRows() }
+func (p *pushbackRel) close()           { closeRel(p.in) }
+
+func (p *pushbackRel) next() (Row, bool) {
+	if p.have {
+		p.have = false
+		return p.row, true
+	}
+	return p.in.next()
+}
+
+// buildPartitions drains the build side once, scattering arena-copied rows
+// into dop key-hash partitions, then builds the partition hash tables
+// concurrently (one goroutine per partition).
+func (j *parallelHashJoinRelOp) buildPartitions(build rop, bIdx []int) {
+	j.parts = make([]joinPartition, j.dop)
+	var arena rowArena
+	for {
+		row, ok := build.next()
+		if !ok {
+			break
+		}
+		h := hashValues(row, bIdx)
+		p := &j.parts[h%uint64(j.dop)]
+		p.rows = append(p.rows, arena.copyRow(row))
+		p.hashes = append(p.hashes, h)
+	}
+	var wg sync.WaitGroup
+	for i := range j.parts {
+		part := &j.parts[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			part.table = newIDTable(len(part.rows))
+			part.chains = make([]int32, len(part.rows))
+			for r, h := range part.hashes {
+				part.chains[r] = part.table.get(h)
+				part.table.put(h, int32(r+1))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// probeStream drains one probe substream against the partitioned build,
+// emitting assembled output rows (left values, then kept right values) in
+// batches on the shared channel.
+func (j *parallelHashJoinRelOp) probeStream(s rop, pIdx []int) {
+	var batch []Row
+	var arena rowArena
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		select {
+		case j.ch <- batch:
+			batch = nil
+			return true
+		case <-j.done:
+			return false
+		}
+	}
+	for {
+		prow, ok := s.next()
+		if !ok {
+			break
+		}
+		h := hashValues(prow, pIdx)
+		part := &j.parts[h%uint64(j.dop)]
+		for c := part.table.get(h); c != 0; c = part.chains[c-1] {
+			brow := part.rows[c-1]
+			if !j.shape.matchKeys(prow, brow, j.buildLeft) {
+				continue
+			}
+			out := arena.alloc(len(j.shape.outCols))
+			j.shape.assemble(out, prow, brow, j.buildLeft, j.leftWidth)
+			batch = append(batch, out)
+			if len(batch) == execBatchRows {
+				if !flush() {
+					return
+				}
+			}
+		}
+	}
+	flush()
+}
+
+func (j *parallelHashJoinRelOp) next() (Row, bool) {
+	if !j.started {
+		j.start()
+	}
+	for {
+		if j.i < len(j.batch) {
+			row := j.batch[j.i]
+			j.i++
+			return row, true
+		}
+		batch, ok := <-j.ch
+		if !ok {
+			return nil, false
+		}
+		j.batch, j.i = batch, 0
+	}
+}
+
+func (j *parallelHashJoinRelOp) close() {
+	if j.started && !j.closed {
+		close(j.done)
+		for range j.ch { // unblock any worker parked on send
+		}
+	}
+	j.closed = true
+	closeRel(j.left)
+	closeRel(j.right)
+}

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"strings"
 	"testing"
 
 	"rdfviews/internal/algebra"
 	"rdfviews/internal/cq"
+	"rdfviews/internal/dict"
 )
 
 // Test fixtures: two small relations standing for materialized views.
@@ -148,6 +150,161 @@ func TestExecuteErrors(t *testing.T) {
 		if _, err := Execute(p, resolve); err == nil {
 			t.Errorf("case %d (%s) should fail", i, p)
 		}
+	}
+}
+
+// countingRel counts next() calls on a wrapped operator, to observe whether
+// a side of a join was drained at all.
+type countingRel struct {
+	in    rop
+	calls int
+}
+
+func (c *countingRel) cols() []cq.Term  { return c.in.cols() }
+func (c *countingRel) stableRows() bool { return c.in.stableRows() }
+func (c *countingRel) next() (Row, bool) {
+	c.calls++
+	return c.in.next()
+}
+
+// bigExtent builds an n-row two-column relation with join-friendly values.
+func bigExtent(cols []cq.Term, n int) *Relation {
+	r := NewRelation(cols)
+	for i := 0; i < n; i++ {
+		r.Rows = append(r.Rows, Row{dict.ID(i), dict.ID(i % 97)})
+	}
+	return r
+}
+
+// TestExecuteJoinBuildSideChosen pins the cost-chosen build side: a build
+// extent ≥8× the probe extent flips the join to build=left (both in
+// DescribePlan's rendering and in execution, whose answers must not change),
+// while the mirrored plan keeps the default build=right.
+func TestExecuteJoinBuildSideChosen(t *testing.T) {
+	x1, x2, x3 := cq.Var(1), cq.Var(2), cq.Var(3)
+	small := bigExtent([]cq.Term{x1, x2}, 10)
+	big := bigExtent([]cq.Term{x2, x3}, 80) // 8× the probe side
+	views := map[algebra.ViewID]*Relation{1: small, 2: big}
+	card := func(id algebra.ViewID) float64 { return float64(views[id].Len()) }
+
+	smallFirst := algebra.NewJoin(algebra.NewScan(1, []cq.Term{x1, x2}), algebra.NewScan(2, []cq.Term{x2, x3}))
+	node, err := DescribePlan(smallFirst, card)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Build != "left" || !strings.Contains(node.String(), "build=left") {
+		t.Fatalf("build extent 8× probe should plan build=left:\n%s", node)
+	}
+	if node.EstRows <= 0 {
+		t.Fatalf("join node should carry an output estimate:\n%s", node)
+	}
+	bigFirst := algebra.NewJoin(algebra.NewScan(2, []cq.Term{x2, x3}), algebra.NewScan(1, []cq.Term{x1, x2}))
+	node, err = DescribePlan(bigFirst, card)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Build != "right" {
+		t.Fatalf("probe 8× build should keep build=right:\n%s", node)
+	}
+
+	// Answers are identical whichever side builds: compare against the
+	// historical always-build-right executor.
+	for _, plan := range []algebra.Plan{smallFirst, bigFirst} {
+		chosen, err := Execute(plan, MapResolver(views))
+		if err != nil {
+			t.Fatal(err)
+		}
+		enableRewriteBuildSide = false
+		baseline, err := Execute(plan, MapResolver(views))
+		enableRewriteBuildSide = true
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chosen.EqualAsSet(baseline) || chosen.Len() != baseline.Len() {
+			t.Fatalf("%s: build-side choice changed answers: %d vs %d rows",
+				plan, chosen.Len(), baseline.Len())
+		}
+	}
+}
+
+// TestExecuteEmptyProbeSkipsBuild pins the empty-probe fast path: when the
+// probe side has no rows, the (possibly huge) build side is never drained,
+// in both build orientations.
+func TestExecuteEmptyProbeSkipsBuild(t *testing.T) {
+	x1, x2, x3 := cq.Var(1), cq.Var(2), cq.Var(3)
+	empty := &relScanOp{labels: []cq.Term{x1, x2}}
+	counted := &countingRel{in: &relScanOp{rows: bigExtent([]cq.Term{x2, x3}, 1000).Rows, labels: []cq.Term{x2, x3}}}
+	shape, err := joinShape(empty.cols(), counted.cols(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// build=right: left probe is empty, the counted right build must not run.
+	j := &hashJoinRelOp{left: empty, right: counted, shape: shape,
+		lIdx: []int{1}, rIdx: []int{0}, leftWidth: 2}
+	if _, ok := j.next(); ok {
+		t.Fatal("join over empty probe returned a row")
+	}
+	if counted.calls != 0 {
+		t.Fatalf("empty probe still drained the build side (%d next calls)", counted.calls)
+	}
+	if j.built {
+		t.Fatal("empty probe still built the hash table")
+	}
+
+	// build=left: right probe is empty, the counted left build must not run.
+	counted2 := &countingRel{in: &relScanOp{rows: bigExtent([]cq.Term{x1, x2}, 1000).Rows, labels: []cq.Term{x1, x2}}}
+	emptyRight := &relScanOp{labels: []cq.Term{x2, x3}}
+	shape2, err := joinShape(counted2.cols(), emptyRight.cols(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := &hashJoinRelOp{left: counted2, right: emptyRight, shape: shape2,
+		lIdx: []int{1}, rIdx: []int{0}, buildLeft: true, leftWidth: 2}
+	if _, ok := j2.next(); ok {
+		t.Fatal("build-left join over empty probe returned a row")
+	}
+	if counted2.calls != 0 {
+		t.Fatalf("empty probe still drained the build-left side (%d next calls)", counted2.calls)
+	}
+
+	// End to end: a zero-row view extent joined with a large one is empty.
+	views := map[algebra.ViewID]*Relation{
+		1: NewRelation([]cq.Term{x1, x2}),
+		2: bigExtent([]cq.Term{x2, x3}, 1000),
+	}
+	r, err := Execute(algebra.NewJoin(
+		algebra.NewScan(1, []cq.Term{x1, x2}),
+		algebra.NewScan(2, []cq.Term{x2, x3}),
+	), MapResolver(views))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("join with empty extent = %d rows", r.Len())
+	}
+}
+
+// TestUnionDedupHintSizedFromExtents pins the union dedup sizing: the rowSet
+// is seeded from the resolved branch cardinalities (clamped by
+// distinctSizeHint) instead of the historical fixed 64 slots.
+func TestUnionDedupHintSizedFromExtents(t *testing.T) {
+	x1, x2 := cq.Var(1), cq.Var(2)
+	smallViews := map[algebra.ViewID]*Relation{1: bigExtent([]cq.Term{x1, x2}, 3)}
+	bigViews := map[algebra.ViewID]*Relation{1: bigExtent([]cq.Term{x1, x2}, 5000)}
+	tableSlots := func(views map[algebra.ViewID]*Relation) int {
+		u := algebra.NewUnion(
+			algebra.NewScan(1, []cq.Term{x1, x2}),
+			algebra.NewScan(1, []cq.Term{x1, x2}),
+		)
+		op, _, err := compileRel(u, MapResolver(views), ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(op.(*unionOp).seen.index.keys)
+	}
+	small, big := tableSlots(smallViews), tableSlots(bigViews)
+	if big <= small {
+		t.Fatalf("union dedup table not sized from branch extents: %d slots for 10000-row branches vs %d for tiny ones", big, small)
 	}
 }
 

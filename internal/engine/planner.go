@@ -707,7 +707,8 @@ func (p *QueryPlan) Describe() *algebra.PhysNode {
 				side = "left"
 			}
 			node = algebra.NewPhysNode("HashJoin",
-				fmt.Sprintf("[%s] build=%s", strings.Join(names, ","), side), s.outEst, node, scan)
+				fmt.Sprintf("[%s]", strings.Join(names, ",")), s.outEst, node, scan)
+			node.Build = side
 		case stepCross:
 			node = algebra.NewPhysNode("CrossProduct", "", s.outEst, node, scan)
 		}

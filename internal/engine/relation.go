@@ -70,16 +70,25 @@ type rowArena struct {
 }
 
 func (a *rowArena) copyRow(row Row) Row {
-	if len(a.chunk)+len(row) > cap(a.chunk) {
+	out := a.alloc(len(row))
+	copy(out, row)
+	return out
+}
+
+// alloc returns an uninitialized arena row of n values; the caller fills it.
+// Used by operators that assemble output rows from two inputs (joins), where
+// a copyRow of a scratch buffer would cost an extra pass.
+func (a *rowArena) alloc(n int) Row {
+	if len(a.chunk)+n > cap(a.chunk) {
 		size := 4096
-		if len(row) > size {
-			size = len(row)
+		if n > size {
+			size = n
 		}
 		a.chunk = make([]dict.ID, 0, size)
 	}
 	off := len(a.chunk)
-	a.chunk = append(a.chunk, row...)
-	return a.chunk[off : off+len(row) : off+len(row)]
+	a.chunk = a.chunk[:off+n]
+	return a.chunk[off : off+n : off+n]
 }
 
 // hashSeed and hashMix define the one hash used by every dedup set and join

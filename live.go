@@ -41,6 +41,12 @@ type MaintainOptions struct {
 	BatchMax int
 	// StaleReads is consulted by Answer when maintenance is asynchronous.
 	StaleReads StaleReadPolicy
+	// ExecDOP is the degree of parallelism Answer executes rewritings with:
+	// large hash joins partition their build extent and fan probe streams out
+	// over that many workers, and union branches evaluate concurrently. 0 or
+	// 1 (the default) keeps rewriting execution serial. Answers are identical
+	// either way, and each execution still sees one pinned extent generation.
+	ExecDOP int
 }
 
 // LiveViews is a materialized view set under incremental maintenance: triple
@@ -54,6 +60,7 @@ type LiveViews struct {
 	rec   *Recommendation
 	m     *maintain.Maintainer
 	stale StaleReadPolicy
+	dop   int
 }
 
 // Maintain materializes the recommended views under synchronous incremental
@@ -88,7 +95,7 @@ func (r *Recommendation) MaintainWithOptions(opts MaintainOptions) (*LiveViews, 
 	if err != nil {
 		return nil, err
 	}
-	return &LiveViews{rec: r, m: m, stale: opts.StaleReads}, nil
+	return &LiveViews{rec: r, m: m, stale: opts.StaleReads, dop: opts.ExecDOP}, nil
 }
 
 // parseTriple parses one N-Triples-style line.
@@ -139,7 +146,8 @@ func (lv *LiveViews) Answer(i int) ([][]string, error) {
 			return nil, err
 		}
 	}
-	rel, err := engine.Execute(lv.rec.state.Plans[i], lv.m.Resolver())
+	rel, err := engine.ExecuteWithOptions(lv.rec.state.Plans[i], lv.m.Resolver(),
+		engine.ExecOptions{DOP: lv.dop})
 	if err != nil {
 		return nil, err
 	}

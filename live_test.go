@@ -2,6 +2,8 @@ package rdfviews
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -229,6 +231,114 @@ func TestMaintainUnderSaturation(t *testing.T) {
 	rows, _ = lv.Answer(0)
 	if len(rows) != 4 {
 		t.Fatalf("answers after insert = %d, want 4", len(rows))
+	}
+}
+
+// TestConcurrentAnswerParallelExec drives LiveViews.Answer with the parallel
+// rewriting executor (ExecDOP 4) against concurrent writers, under both
+// staleness policies. The view extents are large enough for the partitioned
+// parallel operators to engage, and writers insert complete (locatedIn,
+// hasPainted) pairs, so every answer must reflect one pinned extent
+// generation: per-query answer counts can only grow between calls (published
+// generations are monotonic under insert-only churn), every row decodes at
+// the query's arity, and after the writers drain and a Flush the counts are
+// exact. Run with -race to check the executor's worker handoffs against the
+// refresher's extent publication.
+func TestConcurrentAnswerParallelExec(t *testing.T) {
+	var data strings.Builder
+	const base = 1200
+	for i := 0; i < base; i++ {
+		fmt.Fprintf(&data, "p%d hasPainted w%d .\n", i, i)
+		fmt.Fprintf(&data, "w%d locatedIn m%d .\n", i, i%7)
+	}
+	db := NewDatabaseSharded(2)
+	db.MustLoadGraphString(data.String())
+	// The two atomic queries push the search toward materializing the atomic
+	// views, so the join query's rewriting stays a join over large extents —
+	// the shape the partitioned parallel hash join executes.
+	w := db.MustParseWorkload(`
+q(X, Y) :- t(X, hasPainted, Y)
+q(Y, Z) :- t(Y, locatedIn, Z)
+q(X, Z) :- t(X, hasPainted, Y), t(Y, locatedIn, Z)`)
+	rec, err := db.Recommend(w, Options{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 3, 40
+	for _, policy := range []StaleReadPolicy{ServeStale, WaitFresh} {
+		t.Run(policy.String(), func(t *testing.T) {
+			lv, err := rec.MaintainWithOptions(MaintainOptions{
+				QueueDepth: 256,
+				StaleReads: policy,
+				ExecDOP:    4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer lv.Close()
+			initial := make([]int, w.Len())
+			for i := range initial {
+				rows, err := lv.Answer(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				initial[i] = len(rows)
+			}
+			var wg sync.WaitGroup
+			for wid := 0; wid < writers; wid++ {
+				wg.Add(1)
+				go func(wid int) {
+					defer wg.Done()
+					for i := 0; i < perWriter; i++ {
+						// locatedIn first, then hasPainted: a pair completes
+						// exactly one new join answer.
+						loc := fmt.Sprintf("w-%s-%d-%d locatedIn m0 .", policy, wid, i)
+						if _, err := lv.Insert(loc); err != nil {
+							t.Error(err)
+							return
+						}
+						painted := fmt.Sprintf("p-%s-%d-%d hasPainted w-%s-%d-%d .", policy, wid, i, policy, wid, i)
+						if _, err := lv.Insert(painted); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(wid)
+			}
+			last := append([]int(nil), initial...)
+			total := writers * perWriter
+			for round := 0; round < 25; round++ {
+				for i := 0; i < w.Len(); i++ {
+					rows, err := lv.Answer(i)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(rows) < last[i] || len(rows) > initial[i]+total {
+						t.Fatalf("q%d round %d: %d answers outside [%d, %d] — torn extent generation?",
+							i, round, len(rows), last[i], initial[i]+total)
+					}
+					for _, row := range rows {
+						if len(row) != 2 {
+							t.Fatalf("q%d: answer arity %d, want 2", i, len(row))
+						}
+					}
+					last[i] = len(rows)
+				}
+			}
+			wg.Wait()
+			if err := lv.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < w.Len(); i++ {
+				rows, err := lv.Answer(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rows) != initial[i]+total {
+					t.Fatalf("q%d after flush: %d answers, want %d", i, len(rows), initial[i]+total)
+				}
+			}
+		})
 	}
 }
 

@@ -36,7 +36,10 @@
 //     executor then pulls dictionary-encoded tuples through slice-based
 //     variable registers (no per-row maps, no string keys). Rewriting plans
 //     over materialized views execute on an analogous streaming operator
-//     set. Database.ExplainQuery and Recommendation.ExplainPhysical render
+//     set whose hash joins choose their build side from the extent
+//     cardinalities and, at ExecDOP > 1, run with partitioned parallel
+//     builds, fanned-out probe streams and concurrent union branches.
+//     Database.ExplainQuery and Recommendation.ExplainPhysical render
 //     the compiled physical plans.
 //   - internal/maintain keeps view extents synchronized with the store under
 //     triple insertions and deletions (the delta propagation the paper's VMC

@@ -187,6 +187,11 @@ func (r *Recommendation) InitialCost() cost.Breakdown { return r.result.InitialC
 type Materialized struct {
 	rec     *Recommendation
 	extents map[algebra.ViewID]*engine.Relation
+
+	// ExecDOP is the degree of parallelism Answer/AnswerRelation execute
+	// rewritings with (see engine.ExecOptions.DOP); 0 or 1 keeps execution
+	// serial. Answers are identical either way.
+	ExecDOP int
 }
 
 // Materialize computes the extents of the recommended views. Under
@@ -248,7 +253,8 @@ func (m *Materialized) AnswerRelation(i int) (*engine.Relation, error) {
 	if i < 0 || i >= len(m.rec.state.Plans) {
 		return nil, fmt.Errorf("rdfviews: query index %d out of range", i)
 	}
-	return engine.Execute(m.rec.state.Plans[i], engine.MapResolver(m.extents))
+	return engine.ExecuteWithOptions(m.rec.state.Plans[i], engine.MapResolver(m.extents),
+		engine.ExecOptions{DOP: m.ExecDOP})
 }
 
 // Recommend runs view selection for the workload (Definition 2.4: find the
