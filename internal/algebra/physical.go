@@ -28,6 +28,11 @@ type PhysNode struct {
 	// DOP is the operator's degree of parallelism: the number of worker
 	// streams an exchange operator (Gather) fans out over. 0 means serial.
 	DOP int
+	// Batch is the operator's batch size under vectorized execution: the
+	// number of rows per column batch at the dataflow points where batching
+	// is a real knob (scan leaves decoding the batches, exchanges handing
+	// them between goroutines). 0 means row-at-a-time.
+	Batch int
 	// Children are the input operators, left to right.
 	Children []*PhysNode
 }
@@ -63,6 +68,9 @@ func (n *PhysNode) render(sb *strings.Builder, depth int) {
 	}
 	if n.DOP > 0 {
 		fmt.Fprintf(sb, " dop=%d", n.DOP)
+	}
+	if n.Batch > 0 {
+		fmt.Fprintf(sb, " batch=%d", n.Batch)
 	}
 	if n.EstRows > 0 {
 		fmt.Fprintf(sb, "  (≈%.0f rows)", n.EstRows)

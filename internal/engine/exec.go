@@ -25,8 +25,23 @@ func MapResolver(m map[algebra.ViewID]*Relation) ViewResolver {
 	}
 }
 
-// ExecOptions tunes rewriting execution. The zero value is the historical
-// serial executor.
+// VecMode selects the execution protocol. The zero value is vectorized
+// batch-at-a-time execution — the default everywhere — so that zero-valued
+// ExecOptions pick up the fast path; VecOff selects the historical
+// row-at-a-time operators, retained as the differential oracle for the
+// vectorized implementation (the way inl.go pins the planner).
+type VecMode int
+
+const (
+	// VecOn runs the batch-at-a-time operators (vec.go / vec_exec.go).
+	VecOn VecMode = iota
+	// VecOff runs the row-at-a-time oracle (operators.go / exec.go rel ops).
+	VecOff
+)
+
+// ExecOptions tunes execution of both engines: the rewriting executor
+// (Execute) and the store-side pipeline (QueryPlan.EvalWithOptions). The zero
+// value is serial vectorized execution, the default everywhere.
 type ExecOptions struct {
 	// DOP is the degree of parallelism parallel-eligible rewriting operators
 	// run at: a hash join partitions its build extent into DOP key-hash
@@ -34,6 +49,10 @@ type ExecOptions struct {
 	// worker goroutines; a union evaluates up to DOP branches concurrently.
 	// 0 or 1 keeps every operator serial.
 	DOP int
+
+	// Vectorized selects the operator protocol: the zero value (VecOn) pulls
+	// column batches, VecOff the row-at-a-time oracle.
+	Vectorized VecMode
 }
 
 // parallelRewriteMinRows is the estimated operator input size below which
@@ -59,11 +78,16 @@ func Execute(p algebra.Plan, resolve ViewResolver) (*Relation, error) {
 }
 
 // ExecuteWithOptions is Execute with explicit execution options; the zero
-// value reproduces Execute exactly. With DOP > 1 large hash joins run with
+// value reproduces Execute exactly. Execution is vectorized (vec_exec.go)
+// unless Vectorized is VecOff, which selects the row-at-a-time operators
+// below — the differential oracle. With DOP > 1 large hash joins run with
 // partitioned parallel builds and fanned-out probe streams, and union
 // branches evaluate concurrently (see ExecOptions.DOP); answers are
-// identical to serial execution in all cases.
+// identical across all modes.
 func ExecuteWithOptions(p algebra.Plan, resolve ViewResolver, opts ExecOptions) (*Relation, error) {
+	if opts.Vectorized != VecOff {
+		return executeVec(p, resolve, opts)
+	}
 	root, _, err := compileRel(p, resolve, opts)
 	if err != nil {
 		return nil, err
@@ -707,7 +731,11 @@ func describeRel(p algebra.Plan, card func(algebra.ViewID) float64, opts ExecOpt
 			detail += fmt.Sprintf(" +%d equality filters", len(eq))
 			est = scanEst(est, len(eq))
 		}
-		return n.Cols, algebra.NewPhysNode("ViewScan", detail, est), est, nil
+		node := algebra.NewPhysNode("ViewScan", detail, est)
+		if opts.Vectorized != VecOff {
+			node.Batch = BatchSize
+		}
+		return n.Cols, node, est, nil
 	case *algebra.Select:
 		cols, child, est, err := describeRel(n.Input, card, opts)
 		if err != nil {
@@ -741,6 +769,9 @@ func describeRel(p algebra.Plan, card func(algebra.ViewID) float64, opts ExecOpt
 		// workers, so its Filter node carries the dop annotation.
 		if opts.DOP > 1 && est >= parallelRewriteMinRows && selectChainOverScan(n.Input) {
 			child.DOP = opts.DOP
+			if opts.Vectorized != VecOff {
+				child.Batch = BatchSize
+			}
 		}
 		return n.Cols, algebra.NewPhysNode("Project",
 			"["+strings.Join(labels, ",")+"] distinct", est, child), est, nil
@@ -775,6 +806,9 @@ func describeRel(p algebra.Plan, card func(algebra.ViewID) float64, opts ExecOpt
 		}
 		if opts.DOP > 1 && lest+rest >= parallelRewriteMinRows {
 			node.DOP = opts.DOP
+			if opts.Vectorized != VecOff {
+				node.Batch = BatchSize
+			}
 		}
 		return sh.outCols, node, est, nil
 	case *algebra.Union:
@@ -800,6 +834,9 @@ func describeRel(p algebra.Plan, card func(algebra.ViewID) float64, opts ExecOpt
 		node := algebra.NewPhysNode("Union", "distinct", sum, children...)
 		if opts.DOP > 1 && len(n.Branches) > 1 && sum >= parallelRewriteMinRows {
 			node.DOP = min(opts.DOP, len(n.Branches))
+			if opts.Vectorized != VecOff {
+				node.Batch = BatchSize
+			}
 		}
 		return cols, node, sum, nil
 	default:

@@ -54,7 +54,7 @@ func TestGoldenExplainPhysical(t *testing.T) {
         MergeJoin [X4]  (≈8 rows)
           Sort [X4]  (≈8 rows)
             MergeJoin [X3]  (≈8 rows)
-              IndexScan t(X1, #2, X3) perm=pos prefix=1  (≈8 rows)
+              IndexScan t(X1, #2, X3) perm=pos prefix=1 batch=1024  (≈8 rows)
               IndexScan t(X3, #14, X4) perm=pso prefix=1  (≈160 rows)
           IndexScan t(X4, #15, X5) perm=pso prefix=1  (≈160 rows)
       IndexScan t(X5, #16, X2) perm=pso prefix=1  (≈160 rows)
@@ -66,7 +66,7 @@ func TestGoldenExplainPhysical(t *testing.T) {
         MergeJoin [X4]  (≈10 rows)
           Sort [X4]  (≈10 rows)
             MergeJoin [X3]  (≈10 rows)
-              IndexScan t(X1, #2, X3) perm=pos prefix=1  (≈10 rows)
+              IndexScan t(X1, #2, X3) perm=pos prefix=1 batch=1024  (≈10 rows)
               IndexScan t(X3, #14, X4) perm=pso prefix=1  (≈150 rows)
           IndexScan t(X4, #15, X5) perm=pso prefix=1  (≈170 rows)
       IndexScan t(X5, #16, X2) perm=pso prefix=1  (≈140 rows)
@@ -82,7 +82,7 @@ func TestGoldenExplainPhysical(t *testing.T) {
   Project [X1]
     MergeJoin [X1]  (≈160 rows)
       MergeJoin [X1]  (≈160 rows)
-        IndexScan t(X1, #14, X2) perm=pso prefix=1  (≈160 rows)
+        IndexScan t(X1, #14, X2) perm=pso prefix=1 batch=1024  (≈160 rows)
         IndexScan t(X1, #15, X3) perm=pso prefix=1  (≈160 rows)
       IndexScan t(X1, #16, X4) perm=pso prefix=1  (≈160 rows)
 `,
@@ -90,7 +90,7 @@ func TestGoldenExplainPhysical(t *testing.T) {
   Project [X1]
     MergeJoin [X1]  (≈140 rows)
       MergeJoin [X1]  (≈140 rows)
-        IndexScan t(X1, #16, X4) perm=pso prefix=1  (≈140 rows)
+        IndexScan t(X1, #16, X4) perm=pso prefix=1 batch=1024  (≈140 rows)
         IndexScan t(X1, #14, X2) perm=pso prefix=1  (≈150 rows)
       IndexScan t(X1, #15, X3) perm=pso prefix=1  (≈170 rows)
 `,
@@ -104,12 +104,12 @@ func TestGoldenExplainPhysical(t *testing.T) {
 			// guards against, visible as a different driving scan.
 			exact: `Project [X1,X2]
   MergeJoin [X1]  (≈16 rows)
-    IndexScan t(X1, #15, X1) perm=pso prefix=1  (≈16 rows)
+    IndexScan t(X1, #15, X1) perm=pso prefix=1 batch=1024  (≈16 rows)
     IndexScan t(X1, #14, X2) perm=pso prefix=1  (≈160 rows)
 `,
 			eps: `Project [X1,X2]
   MergeJoin [X1]  (≈150 rows)
-    IndexScan t(X1, #14, X2) perm=pso prefix=1  (≈150 rows)
+    IndexScan t(X1, #14, X2) perm=pso prefix=1 batch=1024  (≈150 rows)
     IndexScan t(X1, #15, X1) perm=pso prefix=1  (≈170 rows)
 `,
 		},

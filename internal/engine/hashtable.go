@@ -79,6 +79,29 @@ func (t *idTable) put(h uint64, v int32) {
 	}
 }
 
+// getBatch looks up a batch of hashes at once, writing each hash's stored
+// value (or 0 when absent) into heads. One tight loop over table memory the
+// compiler keeps free of bounds checks and call overhead — the vectorized
+// joins' probe primitive, where per-row get calls dominated.
+func (t *idTable) getBatch(hashes []uint64, heads []int32) {
+	keys, vals, mask := t.keys, t.vals, t.mask
+	for j, h := range hashes {
+		h = remapZero(h)
+		v := int32(0)
+		for i := h & mask; ; i = (i + 1) & mask {
+			k := keys[i]
+			if k == h {
+				v = vals[i]
+				break
+			}
+			if k == 0 {
+				break
+			}
+		}
+		heads[j] = v
+	}
+}
+
 func (t *idTable) grow() {
 	oldKeys, oldVals := t.keys, t.vals
 	size := len(oldKeys) * 2

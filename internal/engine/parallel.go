@@ -29,19 +29,62 @@ import (
 // batch to the consumer; each batch carries its own value arena.
 const scanBatchRows = 256
 
-// scanShard streams one shard's matching triples as batches of bound
-// register rows. It returns early when done closes.
-func scanShard(st store.Reader, shard int, spec *atomSpec, width int, out chan<- []Row, done <-chan struct{}) {
+// rowSlab is one worker batch together with its backing value arena, kept as
+// a pair so a consumer that has fully drained the rows can hand both back to
+// a slabPool for reuse.
+type rowSlab struct {
+	rows []Row
+	buf  []dict.ID
+}
+
+// slabPool recycles rowSlabs between exchange workers and their consumer. A
+// nil pool means every slab is freshly allocated (the ordered gather keeps
+// that behaviour: a downstream merge may still hold the previous head row
+// when a stream refills, so its slabs are never reused).
+type slabPool struct {
+	mu   sync.Mutex
+	free []rowSlab
+}
+
+func (p *slabPool) get(width int) rowSlab {
+	if p != nil {
+		p.mu.Lock()
+		if n := len(p.free); n > 0 {
+			s := p.free[n-1]
+			p.free = p.free[:n-1]
+			p.mu.Unlock()
+			return rowSlab{rows: s.rows[:0], buf: s.buf[:0]}
+		}
+		p.mu.Unlock()
+	}
+	return rowSlab{
+		rows: make([]Row, 0, scanBatchRows),
+		buf:  make([]dict.ID, 0, scanBatchRows*width),
+	}
+}
+
+func (p *slabPool) put(s rowSlab) {
+	if p == nil || s.rows == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}
+
+// scanShard streams one shard's matching triples as slabs of bound register
+// rows. It returns early when done closes. Slabs are drawn from pool when it
+// is non-nil; the consumer recycles each slab once drained.
+func scanShard(st store.Reader, shard int, spec *atomSpec, width int, pool *slabPool, out chan<- rowSlab, done <-chan struct{}) {
 	cur := st.ShardCursor(shard, spec.perm, spec.pat)
-	var batch []Row
-	var buf []dict.ID
+	var slab rowSlab
 	flush := func() bool {
-		if len(batch) == 0 {
+		if len(slab.rows) == 0 {
 			return true
 		}
 		select {
-		case out <- batch:
-			batch, buf = nil, nil
+		case out <- slab:
+			slab = rowSlab{}
 			return true
 		case <-done:
 			return false
@@ -52,19 +95,18 @@ func scanShard(st store.Reader, shard int, spec *atomSpec, width int, out chan<-
 		if !ok {
 			break
 		}
-		if buf == nil {
-			buf = make([]dict.ID, 0, scanBatchRows*width)
-			batch = make([]Row, 0, scanBatchRows)
+		if slab.rows == nil {
+			slab = pool.get(width)
 		}
-		off := len(buf)
-		buf = buf[:off+width]
-		row := buf[off : off+width : off+width]
+		off := len(slab.buf)
+		slab.buf = slab.buf[:off+width]
+		row := slab.buf[off : off+width : off+width]
 		if !spec.bindInto(row, t) {
-			buf = buf[:off]
+			slab.buf = slab.buf[:off]
 			continue
 		}
-		batch = append(batch, row)
-		if len(batch) == scanBatchRows {
+		slab.rows = append(slab.rows, row)
+		if len(slab.rows) == scanBatchRows {
 			if !flush() {
 				return
 			}
@@ -74,8 +116,14 @@ func scanShard(st store.Reader, shard int, spec *atomSpec, width int, out chan<-
 }
 
 // exchangeOp is the unordered parallel scan: dop workers, one per shard, all
-// feeding a single channel; batches surface in whatever order shards produce
-// them.
+// feeding a single channel; slabs surface in whatever order shards produce
+// them. Drained slabs are recycled through a pool — steady-state scanning
+// reuses a small working set of slabs instead of allocating one per 256
+// rows. That is safe here because every consumer that outlives a call to
+// next() copies the row first (hash joins copy build rows into an arena,
+// sort materializes, the eval head copies into the result arena); the row
+// handed out is only guaranteed until the slab it lives in is drained and
+// the next one is pulled.
 type exchangeOp struct {
 	st    store.Reader
 	spec  *atomSpec
@@ -85,20 +133,21 @@ type exchangeOp struct {
 	started bool
 	closed  bool
 	done    chan struct{}
-	ch      chan []Row
-	batch   []Row
+	ch      chan rowSlab
+	pool    slabPool
+	slab    rowSlab
 	i       int
 }
 
 func (e *exchangeOp) start() {
 	e.done = make(chan struct{})
-	e.ch = make(chan []Row, e.dop)
+	e.ch = make(chan rowSlab, e.dop)
 	var wg sync.WaitGroup
 	for s := 0; s < e.dop; s++ {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
-			scanShard(e.st, shard, e.spec, e.width, e.ch, e.done)
+			scanShard(e.st, shard, e.spec, e.width, &e.pool, e.ch, e.done)
 		}(s)
 	}
 	go func() {
@@ -113,16 +162,18 @@ func (e *exchangeOp) next() (Row, bool) {
 		e.start()
 	}
 	for {
-		if e.i < len(e.batch) {
-			row := e.batch[e.i]
+		if e.i < len(e.slab.rows) {
+			row := e.slab.rows[e.i]
 			e.i++
 			return row, true
 		}
-		batch, ok := <-e.ch
+		e.pool.put(e.slab)
+		slab, ok := <-e.ch
 		if !ok {
+			e.slab = rowSlab{}
 			return nil, false
 		}
-		e.batch, e.i = batch, 0
+		e.slab, e.i = slab, 0
 	}
 }
 
@@ -156,7 +207,7 @@ type gatherMergeOp struct {
 
 // shardStream is one worker's output with its merge head.
 type shardStream struct {
-	ch    chan []Row
+	ch    chan rowSlab
 	batch []Row
 	i     int
 	eof   bool
@@ -166,12 +217,12 @@ type shardStream struct {
 // needed; ok is false once the stream is exhausted.
 func (s *shardStream) head() (Row, bool) {
 	for !s.eof && s.i >= len(s.batch) {
-		batch, ok := <-s.ch
+		slab, ok := <-s.ch
 		if !ok {
 			s.eof = true
 			break
 		}
-		s.batch, s.i = batch, 0
+		s.batch, s.i = slab.rows, 0
 	}
 	if s.eof {
 		return nil, false
@@ -185,11 +236,13 @@ func (g *gatherMergeOp) start() {
 	g.live = make([]int, g.dop)
 	for s := 0; s < g.dop; s++ {
 		g.live[s] = s
-		ch := make(chan []Row, 2)
+		ch := make(chan rowSlab, 2)
 		g.streams[s].ch = ch
-		go func(shard int, out chan []Row) {
+		go func(shard int, out chan rowSlab) {
 			defer close(out)
-			scanShard(g.st, shard, g.spec, g.width, out, g.done)
+			// nil pool: the merge consumer may still expose the previous
+			// slab's tail row when a stream refills, so slabs are not reused.
+			scanShard(g.st, shard, g.spec, g.width, nil, out, g.done)
 		}(s, ch)
 	}
 	g.started = true

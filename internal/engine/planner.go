@@ -623,8 +623,27 @@ func distinctSizeHint(est float64) int {
 }
 
 // Eval runs the pipeline and returns the distinct head tuples — the same
-// observable contract as the evaluator this engine replaced.
+// observable contract as the evaluator this engine replaced. Execution is
+// vectorized (vec.go) by default; EvalWithOptions selects the row-at-a-time
+// oracle.
 func (p *QueryPlan) Eval() (*Relation, error) {
+	return p.EvalWithOptions(ExecOptions{})
+}
+
+// EvalWithOptions is Eval under explicit execution options: the zero value
+// (and any options with Vectorized != VecOff) runs the batch-at-a-time
+// pipeline, VecOff the historical row-at-a-time operators. Both produce
+// identical relations; the row path is retained as the differential oracle.
+func (p *QueryPlan) EvalWithOptions(opts ExecOptions) (*Relation, error) {
+	if opts.Vectorized != VecOff {
+		return p.evalVec()
+	}
+	return p.evalRows()
+}
+
+// evalRows drains the row-protocol pipeline — the differential oracle for the
+// vectorized default.
+func (p *QueryPlan) evalRows() (*Relation, error) {
 	root := p.buildOps()
 	defer closeOp(root) // release parallel-scan workers on every exit path
 	out := NewRelation(p.head)
@@ -659,8 +678,23 @@ func (p *QueryPlan) Eval() (*Relation, error) {
 	return out, nil
 }
 
-// Describe returns the physical plan tree for explain surfaces.
+// Describe returns the physical plan tree for explain surfaces, annotated
+// for the default execution mode (vectorized: scan leaves and exchanges
+// carry their batch size).
 func (p *QueryPlan) Describe() *algebra.PhysNode {
+	return p.DescribeWithOptions(ExecOptions{})
+}
+
+// DescribeWithOptions is Describe under explicit execution options: with the
+// vectorized default, operators that own a batching knob — the scan leaves
+// that decode column batches and the Gather exchange that hands them between
+// goroutines — self-describe their batch size (like dop= for parallelism);
+// VecOff renders the historical row-protocol plan unchanged.
+func (p *QueryPlan) DescribeWithOptions(opts ExecOptions) *algebra.PhysNode {
+	batch := 0
+	if opts.Vectorized != VecOff {
+		batch = BatchSize
+	}
 	var node *algebra.PhysNode
 	for _, s := range p.steps {
 		if s.kind == stepSort {
@@ -673,6 +707,13 @@ func (p *QueryPlan) Describe() *algebra.PhysNode {
 			fmt.Sprintf("t(%s, %s, %s) perm=%s prefix=%d",
 				a[0], a[1], a[2], s.spec.perm, len(constPositions(a))),
 			s.est)
+		// Scan leaves that decode column batches under vectorized execution
+		// self-describe the batch size. A merge join's inner cursor is the
+		// exception: its group buffering consumes the cursor row-at-a-time,
+		// so its scan stays unannotated.
+		if s.kind != stepMergeJoin {
+			scan.Batch = batch
+		}
 		switch s.kind {
 		case stepScan:
 			node = scan
@@ -685,6 +726,7 @@ func (p *QueryPlan) Describe() *algebra.PhysNode {
 				}
 				gather := algebra.NewPhysNode("Gather", detail, s.est, scan)
 				gather.DOP = s.par
+				gather.Batch = batch
 				node = gather
 			}
 		case stepMergeJoin:

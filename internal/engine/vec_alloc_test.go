@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"rdfviews/internal/algebra"
+	"rdfviews/internal/cq"
+	"rdfviews/internal/datagen"
+	"rdfviews/internal/dict"
+	"rdfviews/internal/store"
+)
+
+// These tests pin the batch-pool satellite: once a vectorized pipeline is
+// warm (owned batches allocated, hash tables built, cursors open), pulling
+// further batches must not allocate at all. Each test warms the operator
+// with one nextBatch call, then asserts zero allocations per subsequent
+// batch with testing.AllocsPerRun.
+
+// assertZeroAllocBatches pulls runs batches from a warm pipeline, failing if
+// it runs dry or any pull allocates.
+func assertZeroAllocBatches(t *testing.T, name string, runs int, pull func() bool) {
+	t.Helper()
+	dry := false
+	allocs := testing.AllocsPerRun(runs, func() {
+		if !pull() {
+			dry = true
+		}
+	})
+	if dry {
+		t.Fatalf("%s: pipeline ran dry before %d steady-state batches", name, runs)
+	}
+	if allocs != 0 {
+		t.Errorf("%s: %v allocs per steady-state batch, want 0", name, allocs)
+	}
+}
+
+// TestVecScanSteadyStateZeroAlloc: a full scan's nextBatch — cursor decode
+// into the reused triple buffer, bind into the owned output batch — must be
+// allocation-free after the first batch.
+func TestVecScanSteadyStateZeroAlloc(t *testing.T) {
+	st, _ := datagen.Generate(datagen.Config{Triples: 20000, Seed: 1})
+	st.Count(store.Pattern{})
+	q := cq.NewParser(st.Dict()).MustParseQuery("q(X, P, Y) :- t(X, P, Y)")
+	plan, err := PlanQuery(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := plan.buildVecOps()
+	defer closeVop(root)
+	if _, ok := root.nextBatch(); !ok { // warm: allocates the owned batch
+		t.Fatal("empty scan")
+	}
+	// 20000 rows / 1024 per batch ≈ 19 batches; stay well inside that.
+	assertZeroAllocBatches(t, "scan", 10, func() bool {
+		_, ok := root.nextBatch()
+		return ok
+	})
+}
+
+// TestVecHashJoinSteadyStateZeroAlloc: a skewed value join (every edge meets
+// every other) emits millions of rows, so chain emission spans many output
+// batches; each one must reuse the join's owned batch without allocating.
+func TestVecHashJoinSteadyStateZeroAlloc(t *testing.T) {
+	st := store.New()
+	d := st.Dict()
+	hub := d.EncodeIRI("hub")
+	p0, p1 := d.EncodeIRI("p0"), d.EncodeIRI("p1")
+	for i := 0; i < 2000; i++ {
+		st.Add(store.Triple{d.EncodeIRI(fmt.Sprintf("a%d", i)), p0, hub})
+		st.Add(store.Triple{d.EncodeIRI(fmt.Sprintf("b%d", i)), p1, hub})
+	}
+	st.Count(store.Pattern{})
+	q := cq.NewParser(d).MustParseQuery("q(X, Z) :- t(X, p0, Y), t(Z, p1, Y)")
+	plan, err := PlanQuery(st, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := plan.buildVecOps()
+	defer closeVop(root)
+	if _, ok := root.nextBatch(); !ok { // warm: builds the hash table
+		t.Fatal("empty join")
+	}
+	assertZeroAllocBatches(t, "hash join", 20, func() bool {
+		_, ok := root.nextBatch()
+		return ok
+	})
+}
+
+// TestVecRelScanSteadyStateZeroAlloc: the rewriting executor's view-extent
+// scan transposes rows into its owned batch; after the first batch that
+// transpose must be allocation-free.
+func TestVecRelScanSteadyStateZeroAlloc(t *testing.T) {
+	head := []cq.Term{cq.Var(1), cq.Var(2)}
+	rel := NewRelation(head)
+	for i := 0; i < 20000; i++ {
+		rel.Rows = append(rel.Rows, Row{dict.ID(i + 1), dict.ID(i%97 + 1)})
+	}
+	resolve := MapResolver(map[algebra.ViewID]*Relation{1: rel})
+	root, _, err := compileVecRel(algebra.NewScan(1, head), resolve, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeVop(root)
+	if _, ok := root.nextBatch(); !ok {
+		t.Fatal("empty extent")
+	}
+	assertZeroAllocBatches(t, "rel scan", 10, func() bool {
+		_, ok := root.nextBatch()
+		return ok
+	})
+}

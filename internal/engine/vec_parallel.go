@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"sync"
+
+	"rdfviews/internal/dict"
+	"rdfviews/internal/store"
+)
+
+// Vectorized exchange operators: the batch-protocol counterparts of
+// exchangeOp and gatherMergeOp in parallel.go. Shard workers decode and bind
+// whole column batches and hand each one over the channel in a single send —
+// one handoff per BatchSize rows instead of per 256-row slab — and the
+// batches themselves are leased from a shared batchPool, recycled by the
+// consumer as it advances, so steady-state parallel scans allocate nothing
+// per batch.
+
+// vecScanShard streams one shard's matching triples as pooled column batches.
+// It returns early when done closes. Batches with no surviving rows (all
+// dropped by repeated-variable checks) are recycled, never sent, preserving
+// the vop contract that delivered batches are non-empty.
+func vecScanShard(st store.Reader, shard int, spec *atomSpec, pool *batchPool, out chan<- *batch, done <-chan struct{}) {
+	cur := st.ShardCursor(shard, spec.perm, spec.pat)
+	tris := getTris()
+	defer putTris(tris)
+	for {
+		n := cur.NextBatch(tris)
+		if n == 0 {
+			return
+		}
+		b := pool.get()
+		bindBatch(b, spec, tris[:n])
+		if b.live() == 0 {
+			pool.put(b)
+			continue
+		}
+		select {
+		case out <- b:
+		case <-done:
+			pool.put(b)
+			return
+		}
+	}
+}
+
+// vecExchangeOp is the unordered parallel scan over batches: dop workers, one
+// per shard, all feeding a single channel; batches surface in whatever order
+// shards produce them and are returned to the pool when the consumer
+// advances.
+type vecExchangeOp struct {
+	st    store.Reader
+	spec  *atomSpec
+	width int
+	dop   int
+
+	started bool
+	closed  bool
+	done    chan struct{}
+	ch      chan *batch
+	pool    *batchPool
+	cur     *batch // the batch currently on loan to the consumer
+}
+
+func (e *vecExchangeOp) start() {
+	e.done = make(chan struct{})
+	e.ch = make(chan *batch, e.dop)
+	e.pool = newBatchPool(e.width)
+	var wg sync.WaitGroup
+	for s := 0; s < e.dop; s++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			vecScanShard(e.st, shard, e.spec, e.pool, e.ch, e.done)
+		}(s)
+	}
+	go func() {
+		wg.Wait()
+		close(e.ch)
+	}()
+	e.started = true
+}
+
+func (e *vecExchangeOp) nextBatch() (*batch, bool) {
+	if !e.started {
+		e.start()
+	}
+	if e.cur != nil {
+		e.pool.put(e.cur)
+		e.cur = nil
+	}
+	b, ok := <-e.ch
+	if !ok {
+		return nil, false
+	}
+	e.cur = b
+	return b, true
+}
+
+func (e *vecExchangeOp) close() {
+	if !e.started || e.closed {
+		return
+	}
+	e.closed = true
+	close(e.done)
+	for b := range e.ch { // unblock any worker parked on send
+		b.release()
+	}
+	if e.cur != nil {
+		e.cur.release()
+		e.cur = nil
+	}
+	e.pool.releaseAll()
+}
+
+// vecShardStream is one worker's batch stream with its merge position.
+type vecShardStream struct {
+	ch  chan *batch
+	b   *batch
+	sel []int32
+	i   int
+	eof bool
+}
+
+// refill ensures the stream's current batch has an unconsumed row, returning
+// the previous batch to the pool as it advances; false means exhausted.
+func (s *vecShardStream) refill(pool *batchPool) bool {
+	for !s.eof && (s.b == nil || s.i >= len(s.sel)) {
+		if s.b != nil {
+			pool.put(s.b)
+			s.b = nil
+		}
+		b, ok := <-s.ch
+		if !ok {
+			s.eof = true
+			break
+		}
+		s.b, s.sel, s.i = b, b.liveSel(), 0
+	}
+	return !s.eof
+}
+
+// vecGatherMergeOp is the ordered parallel scan over batches: one channel per
+// shard worker, merged row-by-row on the register slot the pipeline is sorted
+// on into a dense output batch the operator owns. The merge itself stays
+// per-row (it must interleave streams), but decode, binding and channel
+// handoff are all batch-amortized.
+type vecGatherMergeOp struct {
+	st    store.Reader
+	spec  *atomSpec
+	width int
+	dop   int
+	slot  int // register slot the streams are merged on
+
+	started   bool
+	closed    bool
+	done      chan struct{}
+	pool      *batchPool
+	streams   []vecShardStream
+	live      []int // indexes of streams not yet exhausted
+	scanSlots []int // register slots the scan binds (the only live columns)
+	out       *batch
+}
+
+func (g *vecGatherMergeOp) start() {
+	g.done = make(chan struct{})
+	g.pool = newBatchPool(g.width)
+	g.streams = make([]vecShardStream, g.dop)
+	g.live = make([]int, g.dop)
+	for _, bd := range g.spec.binds {
+		g.scanSlots = append(g.scanSlots, bd.slot)
+	}
+	for s := 0; s < g.dop; s++ {
+		g.live[s] = s
+		ch := make(chan *batch, 2)
+		g.streams[s].ch = ch
+		go func(shard int, out chan *batch) {
+			defer close(out)
+			vecScanShard(g.st, shard, g.spec, g.pool, out, g.done)
+		}(s, ch)
+	}
+	g.out = newBatch(g.width)
+	g.started = true
+}
+
+func (g *vecGatherMergeOp) nextBatch() (*batch, bool) {
+	if !g.started {
+		g.start()
+	}
+	out := g.out
+	out.reset()
+	for out.n < BatchSize {
+		// Only live streams are consulted: a stream that reports EOF is
+		// swap-removed from the live set (same scheme as gatherMergeOp).
+		best := -1
+		var bestKey dict.ID
+		for k := 0; k < len(g.live); {
+			i := g.live[k]
+			s := &g.streams[i]
+			if !s.refill(g.pool) {
+				last := len(g.live) - 1
+				g.live[k] = g.live[last]
+				g.live = g.live[:last]
+				continue
+			}
+			if key := s.b.cols[g.slot][s.sel[s.i]]; best < 0 || key < bestKey {
+				best, bestKey = i, key
+			}
+			k++
+		}
+		if best < 0 {
+			break
+		}
+		s := &g.streams[best]
+		row := int(s.sel[s.i])
+		s.i++
+		k := out.n
+		for _, sl := range g.scanSlots {
+			out.cols[sl][k] = s.b.cols[sl][row]
+		}
+		out.n = k + 1
+	}
+	if out.n == 0 {
+		return nil, false
+	}
+	return out, true
+}
+
+func (g *vecGatherMergeOp) close() {
+	if !g.started || g.closed {
+		return
+	}
+	g.closed = true
+	close(g.done)
+	for i := range g.streams {
+		for b := range g.streams[i].ch {
+			b.release()
+		}
+		if g.streams[i].b != nil {
+			g.streams[i].b.release()
+			g.streams[i].b = nil
+		}
+	}
+	g.out.release()
+	g.out = nil
+	g.pool.releaseAll()
+}

@@ -163,6 +163,88 @@ func (c *Cursor) Next() (Triple, bool) {
 	}
 }
 
+// NextBatch decodes up to len(dst) matching triples into dst and returns how
+// many it wrote, in the same global permutation order Next streams. It is the
+// amortized decode primitive of the engine's vectorized scans: a single-shard
+// cursor without residual filters decodes the whole batch in one tight loop —
+// a flat gather over the permutation index when the snapshot is clean, an
+// inlined base/overlay merge with tombstone skips otherwise — instead of a
+// per-triple call chain. Zero means EOF; a short non-zero batch is not EOF
+// (callers keep pulling until zero).
+func (c *Cursor) NextBatch(dst []Triple) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	if len(c.subs) == 1 && c.nres == 0 {
+		if !c.valid[0] {
+			return 0
+		}
+		sub := &c.subs[0]
+		// The buffered head is always the first triple of the batch.
+		dst[0] = c.heads[0]
+		n := 1
+		tris := sub.sn.triples
+		if len(sub.delta) == 0 && len(sub.sn.tomb) == 0 {
+			// Clean snapshot: the remaining base positions decode with a
+			// flat gather.
+			m := len(dst) - 1
+			if m > len(sub.base) {
+				m = len(sub.base)
+			}
+			for i := 0; i < m; i++ {
+				dst[n+i] = tris[sub.base[i]]
+			}
+			n += m
+			sub.base = sub.base[m:]
+			c.heads[0], c.valid[0] = sub.next(c.order)
+			return n
+		}
+		// Overlay snapshot: merge base and delta in permutation order,
+		// skipping tombstones — subCursor.next's loop, amortized over the
+		// batch.
+		base, delta := sub.base, sub.delta
+		tomb := sub.sn.tomb
+		order := c.order
+		for n < len(dst) {
+			var pos int32
+			switch {
+			case len(base) == 0 && len(delta) == 0:
+				sub.base, sub.delta = base, delta
+				c.valid[0] = false
+				return n
+			case len(delta) == 0:
+				pos, base = base[0], base[1:]
+			case len(base) == 0:
+				pos, delta = delta[0], delta[1:]
+			default:
+				if permLess(tris[delta[0]], tris[base[0]], order) {
+					pos, delta = delta[0], delta[1:]
+				} else {
+					pos, base = base[0], base[1:]
+				}
+			}
+			if len(tomb) > 0 && tombHas(tomb, pos) {
+				continue
+			}
+			dst[n] = tris[pos]
+			n++
+		}
+		sub.base, sub.delta = base, delta
+		c.heads[0], c.valid[0] = sub.next(c.order)
+		return n
+	}
+	n := 0
+	for n < len(dst) {
+		t, ok := c.Next()
+		if !ok {
+			break
+		}
+		dst[n] = t
+		n++
+	}
+	return n
+}
+
 // Remaining returns an upper bound on the triples left to stream (exact when
 // the cursor has no residual filters and its snapshots hold no tombstones).
 func (c *Cursor) Remaining() int {

@@ -155,6 +155,119 @@ func TestCursorAllPermsAllPatterns(t *testing.T) {
 	}
 }
 
+// TestCursorNextBatchMatchesNext drives NextBatch against a fresh Next-driven
+// cursor over every permutation and pattern shape, across the decode paths:
+// clean single-shard stores (the flat-gather fast path), stores with live
+// insert overlays and tombstones (the per-triple fallback), residual-filtered
+// patterns, and multi-shard merges. Varied batch sizes catch resume bugs at
+// batch boundaries.
+func TestCursorNextBatchMatchesNext(t *testing.T) {
+	stores := map[string]*Store{"flat": randomStore(t, 300, 7)}
+	// Overlay state: mutations past the last compaction leave delta/tombstone
+	// overlays that the fast path must refuse.
+	dirty := randomStore(t, 300, 7)
+	ts := dirty.Triples()
+	for i := 0; i < 20; i++ {
+		dirty.Remove(ts[i*7%len(ts)])
+	}
+	d := dirty.Dict()
+	for i := 0; i < 25; i++ {
+		dirty.Add(Triple{d.EncodeIRI("nb"), d.EncodeIRI("nbp"), d.EncodeIRI(string(rune('a' + i)))})
+	}
+	stores["overlays"] = dirty
+	sharded := NewWithDictSharded(randomStore(t, 1, 1).Dict(), 4)
+	sharded.AddBatch(stores["flat"].Triples())
+	stores["sharded"] = sharded
+
+	for name, st := range stores {
+		ts := st.Triples()
+		pats := []Pattern{
+			{},
+			{Wildcard, ts[1][P], Wildcard},
+			{ts[3][S], ts[3][P], Wildcard},
+			{ts[4][S], Wildcard, ts[4][O]}, // forces residual filters on some perms
+			{Wildcard, ts[5][P], ts[5][O]},
+		}
+		for _, pat := range pats {
+			for p := SPO; p <= OPS; p++ {
+				for _, bs := range []int{1, 3, 64, 1024} {
+					var want []Triple
+					ref := st.NewCursor(p, pat)
+					for {
+						tr, ok := ref.Next()
+						if !ok {
+							break
+						}
+						want = append(want, tr)
+					}
+					var got []Triple
+					c := st.NewCursor(p, pat)
+					buf := make([]Triple, bs)
+					for {
+						n := c.NextBatch(buf)
+						if n == 0 {
+							break
+						}
+						got = append(got, buf[:n]...)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%s perm=%v pat=%v bs=%d: NextBatch %d triples, Next %d",
+							name, p, pat, bs, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("%s perm=%v pat=%v bs=%d: triple %d differs: %v vs %v",
+								name, p, pat, bs, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCursorNextBatchInterleaved mixes Next and NextBatch calls on one
+// cursor: the head-buffer handoff between the two paths must not skip or
+// duplicate triples.
+func TestCursorNextBatchInterleaved(t *testing.T) {
+	st := randomStore(t, 200, 11)
+	var want []Triple
+	ref := st.NewCursor(PSO, Pattern{})
+	for {
+		tr, ok := ref.Next()
+		if !ok {
+			break
+		}
+		want = append(want, tr)
+	}
+	c := st.NewCursor(PSO, Pattern{})
+	var got []Triple
+	buf := make([]Triple, 7)
+	for turn := 0; ; turn++ {
+		if turn%2 == 0 {
+			tr, ok := c.Next()
+			if !ok {
+				break
+			}
+			got = append(got, tr)
+			continue
+		}
+		n := c.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("interleaved drain: %d triples, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("interleaved drain: triple %d differs", i)
+		}
+	}
+}
+
 func TestCursorRemaining(t *testing.T) {
 	st := randomStore(t, 100, 3)
 	c := st.NewCursor(SPO, Pattern{})

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"rdfviews/internal/engine"
 )
 
 func TestLiveViewsInsertDelete(t *testing.T) {
@@ -234,16 +236,17 @@ func TestMaintainUnderSaturation(t *testing.T) {
 	}
 }
 
-// TestConcurrentAnswerParallelExec drives LiveViews.Answer with the parallel
-// rewriting executor (ExecDOP 4) against concurrent writers, under both
-// staleness policies. The view extents are large enough for the partitioned
-// parallel operators to engage, and writers insert complete (locatedIn,
-// hasPainted) pairs, so every answer must reflect one pinned extent
-// generation: per-query answer counts can only grow between calls (published
-// generations are monotonic under insert-only churn), every row decodes at
-// the query's arity, and after the writers drain and a Flush the counts are
-// exact. Run with -race to check the executor's worker handoffs against the
-// refresher's extent publication.
+// TestConcurrentAnswerParallelExec drives LiveViews.Answer — vectorized
+// batch execution by default — with the parallel rewriting executor
+// (ExecDOP 4) against concurrent writers, under both staleness policies. The
+// view extents are large enough for the partitioned parallel operators to
+// engage, and writers insert complete (locatedIn, hasPainted) pairs, so
+// every answer must reflect one pinned extent generation: per-query answer
+// counts can only grow between calls (published generations are monotonic
+// under insert-only churn), every row decodes at the query's arity, and
+// after the writers drain and a Flush the counts are exact — checked against
+// both the vectorized executor and the row-at-a-time oracle. Run with -race
+// to check the batch handoffs against the refresher's extent publication.
 func TestConcurrentAnswerParallelExec(t *testing.T) {
 	var data strings.Builder
 	const base = 1200
@@ -336,6 +339,16 @@ q(X, Z) :- t(X, hasPainted, Y), t(Y, locatedIn, Z)`)
 				}
 				if len(rows) != initial[i]+total {
 					t.Fatalf("q%d after flush: %d answers, want %d", i, len(rows), initial[i]+total)
+				}
+				// Row-at-a-time oracle over the same pinned extents must agree
+				// with the vectorized answer.
+				oracle, err := engine.ExecuteWithOptions(lv.rec.state.Plans[i], lv.m.Resolver(),
+					engine.ExecOptions{DOP: 4, Vectorized: engine.VecOff})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if oracle.Len() != len(rows) {
+					t.Fatalf("q%d: row oracle %d answers, vectorized %d", i, oracle.Len(), len(rows))
 				}
 			}
 		})
