@@ -8,7 +8,8 @@
 //	rdfviews -data data.nt -queries workload.cq [-schema schema.nt] \
 //	         [-strategy dfs] [-reasoning post] [-timeout 10s] [-answer] \
 //	         [-explain-physical] [-shards 4] [-exec-dop 4] \
-//	         [-updates updates.nt] [-async-maintain 1024] [-stale-reads wait-fresh]
+//	         [-updates updates.nt] [-async-maintain 1024] [-stale-reads wait-fresh] \
+//	         [-cache-stats]
 //
 // The workload file holds one query per line:
 //
@@ -35,6 +36,14 @@
 // batches, and the reported lag/flush numbers show the freshness lifecycle.
 // -stale-reads selects whether -answer serves the last published extents
 // (serve-stale) or flushes first (wait-fresh).
+//
+// -cache-stats answers the workload ad hoc through the serving-tier plan
+// cache (LiveViews.AnswerQuery) instead of the pre-compiled rewritings, then
+// prints the cache ledger: hits, misses, evictions, invalidations and the
+// compile time paid versus amortized away. Workload queries sharing a lifted
+// constant shape hit the same cached artifact, so the ledger shows what plan
+// caching would buy the workload as a query stream. Implies the live
+// maintenance path (the cache serves maintained views).
 package main
 
 import (
@@ -64,6 +73,7 @@ func main() {
 		updates    = flag.String("updates", "", "stream triple updates through the maintained views: one triple per line inserts, a '- ' prefix deletes")
 		asyncQueue = flag.Int("async-maintain", 0, "maintain views asynchronously behind a change queue of this depth (0 = synchronous maintenance)")
 		staleReads = flag.String("stale-reads", "serve-stale", "answering policy over asynchronously maintained views: serve-stale|wait-fresh")
+		cacheStats = flag.Bool("cache-stats", false, "answer the workload through the serving-tier plan cache and print the hit/miss/eviction/compile-time ledger")
 	)
 	flag.Parse()
 	if *dataPath == "" || *queryPath == "" {
@@ -125,7 +135,7 @@ func main() {
 	}
 
 	switch {
-	case *updates != "" || *asyncQueue > 0:
+	case *updates != "" || *asyncQueue > 0 || *cacheStats:
 		// Live maintenance path: updates stream through the maintainer and
 		// -answer runs over the maintained (possibly lagging) extents.
 		policy := rdfviews.ServeStale
@@ -155,7 +165,14 @@ func main() {
 			}
 		}
 		if *answer {
-			answerQueries(w.Len(), *maxRows, lv.Answer)
+			if *cacheStats {
+				answerAdHoc(workloadLines(string(queryText)), *maxRows, lv.AnswerQuery)
+			} else {
+				answerQueries(w.Len(), *maxRows, lv.Answer)
+			}
+		}
+		if *cacheStats {
+			fmt.Printf("\nplan cache: %s\n", lv.CacheStats())
 		}
 		if err := lv.Close(); err != nil {
 			fatal(err)
@@ -244,6 +261,39 @@ func answerQueries(n, maxRows int, answer func(int) ([][]string, error)) {
 			fmt.Printf("  %v\n", row)
 		}
 	}
+}
+
+// answerAdHoc answers each workload query by text through the serving-tier
+// surface — the path that consults the plan cache.
+func answerAdHoc(texts []string, maxRows int, answer func(string) ([][]string, error)) {
+	for i, q := range texts {
+		rows, err := answer(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nq%d: %d answers\n", i+1, len(rows))
+		for j, row := range rows {
+			if j >= maxRows {
+				fmt.Printf("  ... (%d more)\n", len(rows)-j)
+				break
+			}
+			fmt.Printf("  %v\n", row)
+		}
+	}
+}
+
+// workloadLines splits a workload file into query texts, one per line,
+// skipping blanks and # comments (the same convention ParseWorkload uses).
+func workloadLines(text string) []string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out
 }
 
 func loadFile(db *rdfviews.Database, path string, schema bool) error {

@@ -614,7 +614,13 @@ const distinctHintCap = 1 << 20
 func distinctSizeHint(est float64) int {
 	const def = 64
 	if est <= def {
-		return def
+		// Trust small estimates: a point lookup dedups a handful of rows, and
+		// an undersized table just doubles on the way up. newIDTable's floor
+		// (16 slots) bounds the low end.
+		if est < 1 {
+			est = 1
+		}
+		return int(est)
 	}
 	if est >= distinctHintCap {
 		return distinctHintCap

@@ -256,16 +256,18 @@ func TestStoreCardsRepeatedVariable(t *testing.T) {
 	assertSameAnswers(t, st, q)
 }
 
-// TestDistinctSizeHint pins the clamp: estimates at or above the cap size the
-// distinct set to the cap instead of being discarded (the old cliff back to a
-// 64-slot table).
+// TestDistinctSizeHint pins the clamp at both ends: small estimates size the
+// distinct set down to them (a point lookup should not pay for a 64-slot
+// table; newIDTable's 16-slot floor bounds the low end and an undersized
+// table doubles on the way up), and estimates at or above the cap size it to
+// the cap instead of being discarded (the old cliff back to a 64-slot table).
 func TestDistinctSizeHint(t *testing.T) {
 	cases := []struct {
 		est  float64
 		want int
 	}{
-		{0, 64},
-		{63, 64},
+		{0, 1},
+		{63, 63},
 		{1000, 1000},
 		{1 << 20, distinctHintCap},
 		{1 << 21, distinctHintCap},

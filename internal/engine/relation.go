@@ -80,7 +80,16 @@ func (a *rowArena) copyRow(row Row) Row {
 // a copyRow of a scratch buffer would cost an extra pass.
 func (a *rowArena) alloc(n int) Row {
 	if len(a.chunk)+n > cap(a.chunk) {
-		size := 4096
+		// Chunks grow geometrically from small: point lookups with a handful
+		// of output rows pay for a cacheline or two, bulk materialization
+		// converges on 4k-value chunks within a few doublings.
+		size := cap(a.chunk) * 2
+		if size < 64 {
+			size = 64
+		}
+		if size > 4096 {
+			size = 4096
+		}
 		if n > size {
 			size = n
 		}

@@ -62,11 +62,25 @@ type triCursor struct {
 	cur  store.Cursor
 	buf  []store.Triple
 	i, n int
+	lim  int // fill limit: ramps up per refill, resets small after a seek
 }
+
+// triCursorRamp is the first refill size. A merge consumer often needs only
+// one key group per probe — decoding the full buffer up front would cost a
+// thousand-triple gather to read a handful — so fills start small and double,
+// converging on full-buffer decodes for genuinely long streams.
+const triCursorRamp = 32
 
 func (c *triCursor) next() (store.Triple, bool) {
 	if c.i >= c.n {
-		c.n = c.cur.NextBatch(c.buf)
+		if c.lim < triCursorRamp {
+			c.lim = triCursorRamp
+		}
+		if c.lim > len(c.buf) {
+			c.lim = len(c.buf)
+		}
+		c.n = c.cur.NextBatch(c.buf[:c.lim])
+		c.lim *= 2
 		c.i = 0
 		if c.n == 0 {
 			return store.Triple{}, false
@@ -75,6 +89,22 @@ func (c *triCursor) next() (store.Triple, bool) {
 	t := c.buf[c.i]
 	c.i++
 	return t, true
+}
+
+// seekGE positions the cursor so the next call to next returns the first
+// remaining triple with t[col] >= key. The buffered batch is sorted on col
+// (it streams in cursor order), so a target inside it is a binary search;
+// otherwise the buffer is discarded and the skip delegates to the store
+// cursor's index seek.
+func (c *triCursor) seekGE(col int, key dict.ID) {
+	if c.i < c.n && c.buf[c.n-1][col] >= key {
+		rest := c.buf[c.i:c.n]
+		c.i += sort.Search(len(rest), func(j int) bool { return rest[j][col] >= key })
+		return
+	}
+	c.i, c.n = 0, 0
+	c.lim = 0 // next fill starts small: a seek usually lands on one group
+	c.cur.SeekGE(col, key)
 }
 
 // bindBatch writes len(tris) decoded triples into the batch's bound columns
@@ -237,8 +267,16 @@ func (m *vecMergeJoinOp) nextBatch() (*batch, bool) {
 		key := m.lb.cols[m.slot][lrow]
 		if !m.haveGrp || key != m.groupKey {
 			// Left keys are non-decreasing, so the right cursor only ever
-			// moves forward.
-			for m.curOK && m.curT[m.rpos] < key {
+			// moves forward. Small gaps advance linearly; anything larger
+			// gallops via the cursor's index seek, so a selective left side
+			// skips over the unmatched right runs instead of streaming them.
+			const linearSkip = 16
+			for n := 0; m.curOK && m.curT[m.rpos] < key; {
+				if n++; n > linearSkip {
+					m.cur.seekGE(m.rpos, key)
+					m.curT, m.curOK = m.cur.next()
+					break
+				}
 				m.curT, m.curOK = m.cur.next()
 			}
 			m.group = m.group[:0]
@@ -397,8 +435,6 @@ func (j *vecHashJoinOp) build() {
 			}
 		}
 	}
-	j.hashes = make([]uint64, BatchSize)
-	j.heads = make([]int32, BatchSize)
 	j.out = newBatch(j.width)
 	j.built = true
 }
@@ -407,6 +443,13 @@ func (j *vecHashJoinOp) build() {
 // all chain heads in one batched table probe.
 func (j *vecHashJoinOp) probeHash(lb *batch) {
 	sel := j.lsel
+	// Scratch sizes track the largest probe batch seen (≤ BatchSize): a
+	// selective point pipeline probes a handful of rows per batch and should
+	// not pay for full-batch scratch.
+	if cap(j.hashes) < len(sel) {
+		j.hashes = make([]uint64, len(sel))
+		j.heads = make([]int32, len(sel))
+	}
 	hashes := j.hashes[:len(sel)]
 	for i := range hashes {
 		hashes[i] = hashSeed
@@ -469,7 +512,7 @@ func (j *vecHashJoinOp) emitChain(out *batch) {
 	cols := j.lb.cols
 	lrow := int(j.lrow)
 	if j.matchBuf == nil {
-		j.matchBuf = make([]int32, BatchSize)
+		j.matchBuf = make([]int32, 0, 16)
 	}
 	free := BatchSize - out.n
 	run := j.matchBuf[:0]
@@ -504,6 +547,7 @@ func (j *vecHashJoinOp) emitChain(out *batch) {
 		}
 		out.n += g
 	}
+	j.matchBuf = run[:0] // keep any growth for the next chain
 	j.emitting = j.chain != 0
 }
 
@@ -578,9 +622,6 @@ func (j *vecHashJoinBuildLeftOp) nextBatch() (*batch, bool) {
 		}
 		j.cur = j.st.NewCursor(j.spec.perm, j.spec.pat)
 		j.tris = getTris()
-		j.pselBuf = make([]int32, BatchSize)
-		j.hashes = make([]uint64, BatchSize)
-		j.heads = make([]int32, BatchSize)
 		j.out = newBatch(j.width)
 	}
 	out := j.out
@@ -617,7 +658,14 @@ func (j *vecHashJoinBuildLeftOp) nextBatch() (*batch, bool) {
 // probeHash compacts the freshly decoded probe triples through the atom's
 // checks, hashes their key positions and fetches all chain heads at once.
 func (j *vecHashJoinBuildLeftOp) probeHash(n int) {
-	sel := j.pselBuf
+	// Scratch sizes track the largest probe batch seen (≤ BatchSize), so a
+	// short probe stream does not pay for full-batch scratch.
+	if cap(j.pselBuf) < n {
+		j.pselBuf = make([]int32, n)
+		j.hashes = make([]uint64, n)
+		j.heads = make([]int32, n)
+	}
+	sel := j.pselBuf[:n]
 	k := 0
 	if len(j.spec.checks) == 0 {
 		for i := 0; i < n; i++ {

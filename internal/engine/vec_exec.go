@@ -551,8 +551,6 @@ func (j *vecHashJoinRelOp) build() {
 			}
 		}
 	}
-	j.hashes = make([]uint64, BatchSize)
-	j.heads = make([]int32, BatchSize)
 	j.out = newBatch(len(j.shape.outCols))
 	j.built = true
 }
@@ -561,6 +559,12 @@ func (j *vecHashJoinRelOp) build() {
 // chain heads in one batched table probe.
 func (j *vecHashJoinRelOp) probeHash(b *batch, pIdx []int) {
 	sel := j.psel
+	// Scratch sizes track the largest probe batch seen (≤ BatchSize): a
+	// selective probe stream should not pay for full-batch scratch.
+	if cap(j.hashes) < len(sel) {
+		j.hashes = make([]uint64, len(sel))
+		j.heads = make([]int32, len(sel))
+	}
 	hashes := j.hashes[:len(sel)]
 	for i := range hashes {
 		hashes[i] = hashSeed
@@ -640,7 +644,7 @@ func (j *vecHashJoinRelOp) emitChain(out *batch) {
 	cols := j.pb.cols
 	prow := int(j.prow)
 	if j.matchBuf == nil {
-		j.matchBuf = make([]int32, BatchSize)
+		j.matchBuf = make([]int32, 0, 16)
 	}
 	free := BatchSize - out.n
 	run := j.matchBuf[:0]
@@ -697,6 +701,7 @@ func (j *vecHashJoinRelOp) emitChain(out *batch) {
 		}
 		out.n = k + g
 	}
+	j.matchBuf = run[:0] // keep any growth for the next chain
 	j.emitting = j.chain != 0
 }
 

@@ -84,6 +84,16 @@ type refresher struct {
 	wmu    sync.Mutex // serializes writers: store apply + snapshot + enqueue
 	closed bool
 
+	// Flush coalescing (cohort batching): at most one barrier is pending
+	// (created but not yet enqueued) and one in flight at a time. A flusher
+	// arriving while a group is pending joins it — the group's barrier will
+	// be enqueued after the joiner's deltas, so one drain satisfies the whole
+	// cohort. k concurrent flushers cost at most two barriers, not k.
+	fmu           sync.Mutex  // guards flightPending/flightLast
+	flightPending *flushGroup // joinable: barrier not yet enqueued
+	flightLast    *flushGroup // most recently enqueued barrier
+	barriers      atomic.Int64
+
 	pending atomic.Int64  // enqueued deltas not yet folded into extents
 	latest  atomic.Uint64 // newest store epoch assigned to a delta
 
@@ -139,18 +149,60 @@ func (rf *refresher) enqueue(op opKind, t store.Triple) error {
 	return nil
 }
 
-// flush enqueues a barrier and waits for the refresher to pass it; every
-// delta enqueued before the call is folded into published extents by then.
+// flushGroup is one cohort of flush callers sharing a single barrier.
+type flushGroup struct {
+	done chan struct{} // the barrier channel itself; closed by the refresher
+}
+
+// flush waits until every delta enqueued before the call has been folded into
+// published extents. Concurrent flushers are coalesced: a caller either joins
+// the pending group — whose barrier is guaranteed to be enqueued at-or-after
+// the caller's own deltas, because a group stops admitting joiners the moment
+// its barrier enters the queue — or leads a new group, first waiting out the
+// barrier already in flight so the queue drains once per cohort.
 func (rf *refresher) flush() error {
+	rf.fmu.Lock()
+	if g := rf.flightPending; g != nil {
+		rf.fmu.Unlock()
+		<-g.done
+		return rf.loadErr()
+	}
+	g := &flushGroup{done: make(chan struct{})}
+	prev := rf.flightLast
+	rf.flightPending = g
+	rf.fmu.Unlock()
+
+	if prev != nil {
+		// An earlier barrier is (or was) in flight; wait it out so every
+		// flusher arriving meanwhile piles onto g instead of a fresh barrier.
+		<-prev.done
+	}
+
 	rf.wmu.Lock()
 	if rf.closed {
+		// close() drains the queue before returning, so joiners are already
+		// satisfied; release them and report the sticky error state.
+		rf.fmu.Lock()
+		if rf.flightPending == g {
+			rf.flightPending = nil
+		}
+		rf.fmu.Unlock()
+		close(g.done)
 		rf.wmu.Unlock()
-		return rf.loadErr() // close already drained the queue
+		return rf.loadErr()
 	}
-	ch := make(chan struct{})
-	rf.queue <- delta{flush: ch}
+	rf.queue <- delta{flush: g.done}
+	rf.barriers.Add(1)
+	// Stop admitting joiners only now that the barrier is in the queue:
+	// while the enqueue was blocked on wmu or a full queue, no delta could be
+	// appended either, so everyone who joined is still covered.
+	rf.fmu.Lock()
+	rf.flightPending = nil
+	rf.flightLast = g
+	rf.fmu.Unlock()
 	rf.wmu.Unlock()
-	<-ch
+
+	<-g.done
 	return rf.loadErr()
 }
 
@@ -331,5 +383,6 @@ func (m *Maintainer) applyBatch(snapOld *store.Snapshot, batch []delta) error {
 		next.extents[id] = newX
 	}
 	m.cur.Store(next)
+	m.pubGen.Add(1)
 	return nil
 }

@@ -1,0 +1,130 @@
+package maintain
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"rdfviews/internal/rdf"
+	"rdfviews/internal/store"
+)
+
+// TestAsyncFlushCoalescesConcurrent pins the cohort-batching contract of
+// flush(): k concurrent flushers share at most two barriers per in-flight
+// window (one draining, one pending that everyone else joins), instead of
+// enqueueing k barriers.
+func TestAsyncFlushCoalescesConcurrent(t *testing.T) {
+	st, views, _ := setup(t)
+	m, err := NewWithConfig(st, views, Config{QueueDepth: 4096, BatchMax: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	enc := func(s, p, o string) store.Triple {
+		d := st.Dict()
+		return store.Triple{d.Encode(rdf.NewIRI(s)), d.Encode(rdf.NewIRI(p)), d.Encode(rdf.NewIRI(o))}
+	}
+
+	const flushers = 64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	before := m.rf.barriers.Load()
+	for i := 0; i < flushers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := m.Flush(); err != nil {
+				t.Errorf("flush: %v", err)
+			}
+		}()
+	}
+	// Pile up real work so the refresher is busy while the flushers race:
+	// small batches force many evaluation rounds, and the queue is filled
+	// immediately before the flushers are released so every flush has a long
+	// drain ahead of it.
+	for i := 0; i < 2000; i++ {
+		if _, err := m.Insert(enc(fmt.Sprintf("p%d", i), "hasPainted", fmt.Sprintf("w%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(start)
+	wg.Wait()
+
+	barriers := m.rf.barriers.Load() - before
+	if barriers > flushers/2 {
+		t.Fatalf("%d concurrent flushes enqueued %d barriers, want coalescing (<= %d)",
+			flushers, barriers, flushers/2)
+	}
+	if barriers == 0 {
+		t.Fatalf("no barrier enqueued at all")
+	}
+	// The barrier contract itself: everything enqueued before the flushes is
+	// now folded into published extents.
+	if m.Lag() != 0 {
+		t.Fatalf("lag %d after flush, want 0", m.Lag())
+	}
+}
+
+// TestAsyncFlushAfterCloseStillReturns guards the closed-path of the
+// coalesced flush: a flush racing Close must release joiners, not hang.
+func TestAsyncFlushAfterCloseStillReturns(t *testing.T) {
+	st, views, _ := setup(t)
+	m, err := NewWithConfig(st, views, Config{QueueDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatalf("flush after close: %v", err)
+	}
+}
+
+func TestPublishGenAdvances(t *testing.T) {
+	st, views, _ := setup(t)
+	m, err := New(st, views) // synchronous
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := st.Dict()
+	tr := store.Triple{d.Encode(rdf.NewIRI("x")), d.Encode(rdf.NewIRI("hasPainted")), d.Encode(rdf.NewIRI("y"))}
+	g0 := m.PublishGen()
+	if _, err := m.Insert(tr); err != nil {
+		t.Fatal(err)
+	}
+	if m.PublishGen() != g0+1 {
+		t.Fatalf("sync insert did not bump PublishGen")
+	}
+	if _, err := m.Insert(tr); err != nil { // duplicate: no state change
+		t.Fatal(err)
+	}
+	if m.PublishGen() != g0+1 {
+		t.Fatalf("duplicate insert bumped PublishGen")
+	}
+	if _, err := m.Delete(tr); err != nil {
+		t.Fatal(err)
+	}
+	if m.PublishGen() != g0+2 {
+		t.Fatalf("sync delete did not bump PublishGen")
+	}
+
+	// Asynchronous: one bump per published batch, observable after Flush.
+	ma, err := NewWithConfig(st, views, Config{QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ma.Close()
+	g0 = ma.PublishGen()
+	if _, err := ma.Insert(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := ma.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ma.PublishGen() <= g0 {
+		t.Fatalf("async publish did not bump PublishGen")
+	}
+}

@@ -46,6 +46,13 @@ type Maintainer struct {
 	// pinning one load observe a consistent set across views.
 	cur atomic.Pointer[extentSet]
 
+	// pubGen counts extent publications (synchronous mutations and
+	// asynchronous batch publishes alike). The serving tier's plan cache
+	// reads it as a cheap change signal: an unchanged generation means no
+	// mutation reached the extents since an artifact was validated, so the
+	// hit path can skip its cardinality-drift check entirely.
+	pubGen atomic.Uint64
+
 	rf *refresher // nil in synchronous mode
 }
 
@@ -136,6 +143,7 @@ func (m *Maintainer) Insert(t store.Triple) (int, error) {
 	if !m.st.Add(t) {
 		return 0, nil // duplicate: no deltas under set semantics
 	}
+	defer m.pubGen.Add(1)
 	added := 0
 	es := m.cur.Load()
 	for id, v := range m.views {
@@ -174,6 +182,7 @@ func (m *Maintainer) Delete(t store.Triple) (int, error) {
 		candidates[id] = rows
 	}
 	m.st.Remove(t)
+	defer m.pubGen.Add(1)
 	removed := 0
 	es := m.cur.Load()
 	for id, rows := range candidates {
@@ -239,6 +248,17 @@ func (m *Maintainer) EpochsBehind() uint64 {
 	}
 	return 0
 }
+
+// PublishGen returns the number of extent publications so far: synchronous
+// mode bumps it on every state-changing Insert/Delete, asynchronous mode once
+// per published refresh batch. An unchanged value between two reads means no
+// mutation reached the published extents in between.
+func (m *Maintainer) PublishGen() uint64 { return m.pubGen.Load() }
+
+// Store returns the base store the maintainer maintains views over. Under
+// ReasoningSaturate this is the saturated copy, so ad-hoc queries evaluated
+// against it see entailed triples without reformulation.
+func (m *Maintainer) Store() *store.Store { return m.st }
 
 // Close flushes the change queue, stops the background refresher and reports
 // any refresher error. Further Insert/Delete calls fail. Synchronous

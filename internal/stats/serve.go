@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// CacheCounters is the serving tier's plan-cache ledger: every answering path
+// that consults the cache records hits, misses, evictions, invalidation
+// sweeps, and the compile time paid versus amortized away. All fields are
+// atomics — the cache updates them from concurrent answerers without locks —
+// and the ledger doubles as the per-query benefit signal the adaptive view
+// selection phase (ROADMAP) will mine.
+type CacheCounters struct {
+	Hits          atomic.Int64 // lookups answered by a cached artifact
+	Misses        atomic.Int64 // lookups that compiled (or waited on a compile)
+	Evictions     atomic.Int64 // entries dropped by LRU capacity pressure
+	Invalidations atomic.Int64 // generation bumps discarding all entries
+	CompileNanos  atomic.Int64 // total time spent compiling artifacts
+	SavedNanos    atomic.Int64 // compile time amortized away by hits
+}
+
+// CacheSnapshot is a point-in-time copy of CacheCounters for reporting.
+type CacheSnapshot struct {
+	Hits             int64
+	Misses           int64
+	Evictions        int64
+	Invalidations    int64
+	CompileTime      time.Duration
+	CompileTimeSaved time.Duration
+}
+
+// Snapshot reads the counters atomically (each field individually — the
+// snapshot is consistent enough for reporting, not a linearizable cut).
+func (c *CacheCounters) Snapshot() CacheSnapshot {
+	return CacheSnapshot{
+		Hits:             c.Hits.Load(),
+		Misses:           c.Misses.Load(),
+		Evictions:        c.Evictions.Load(),
+		Invalidations:    c.Invalidations.Load(),
+		CompileTime:      time.Duration(c.CompileNanos.Load()),
+		CompileTimeSaved: time.Duration(c.SavedNanos.Load()),
+	}
+}
+
+// HitRate is hits over total lookups, 0 when the cache was never consulted.
+func (s CacheSnapshot) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+func (s CacheSnapshot) String() string {
+	return fmt.Sprintf("hits=%d misses=%d hit_rate=%.1f%% evictions=%d invalidations=%d compile=%s saved=%s",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Evictions, s.Invalidations,
+		s.CompileTime.Round(time.Microsecond), s.CompileTimeSaved.Round(time.Microsecond))
+}

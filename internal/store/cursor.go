@@ -1,6 +1,10 @@
 package store
 
-import "rdfviews/internal/dict"
+import (
+	"sort"
+
+	"rdfviews/internal/dict"
+)
 
 // Cursor is a streaming iterator over the triples matching a pattern, in the
 // sorted order of one permutation index. It is the scan primitive of the
@@ -243,6 +247,36 @@ func (c *Cursor) NextBatch(dst []Triple) int {
 		n++
 	}
 	return n
+}
+
+// SeekGE advances the cursor past every triple whose value at column col is
+// below key, in O(log remaining) per shard stream. col must be the column the
+// stream is sorted on — the first wildcard position of the cursor's
+// permutation order — which is exactly the column a merge consumer skips on.
+// Triples already streamed are unaffected; the next Next/NextBatch yields the
+// first remaining triple with t[col] >= key (residual filters still apply).
+func (c *Cursor) SeekGE(col int, key dict.ID) {
+	for i := range c.subs {
+		if c.valid[i] && c.heads[i][col] >= key {
+			continue
+		}
+		sub := &c.subs[i]
+		if !c.valid[i] && len(sub.base) == 0 && len(sub.delta) == 0 {
+			continue // exhausted stream: nothing to skip
+		}
+		tris := sub.sn.triples
+		sub.base = seekPositions(tris, sub.base, col, key)
+		sub.delta = seekPositions(tris, sub.delta, col, key)
+		c.heads[i], c.valid[i] = sub.next(c.order)
+	}
+}
+
+// seekPositions drops the prefix of pos whose triples sort below key at col.
+// pos lists triple positions in permutation order with col the leading sort
+// key of the remainder, so t[col] is non-decreasing along it.
+func seekPositions(tris []Triple, pos []int32, col int, key dict.ID) []int32 {
+	lo := sort.Search(len(pos), func(i int) bool { return tris[pos[i]][col] >= key })
+	return pos[lo:]
 }
 
 // Remaining returns an upper bound on the triples left to stream (exact when

@@ -279,3 +279,104 @@ func TestCursorRemaining(t *testing.T) {
 		t.Fatalf("Remaining after Next = %d", c.Remaining())
 	}
 }
+
+// TestCursorSeekGE drives SeekGE against a reference cursor that skips by
+// draining Next, over clean, overlay and sharded stores, every permutation,
+// and seek keys landing before, inside and past each stream. After each seek
+// the remainders must match triple for triple.
+func TestCursorSeekGE(t *testing.T) {
+	stores := map[string]*Store{"flat": randomStore(t, 300, 7)}
+	dirty := randomStore(t, 300, 7)
+	dts := dirty.Triples()
+	for i := 0; i < 20; i++ {
+		dirty.Remove(dts[i*7%len(dts)])
+	}
+	d := dirty.Dict()
+	for i := 0; i < 25; i++ {
+		dirty.Add(Triple{d.EncodeIRI("sk"), d.EncodeIRI("skp"), d.EncodeIRI(string(rune('a' + i)))})
+	}
+	stores["overlays"] = dirty
+	sharded := NewWithDictSharded(randomStore(t, 1, 1).Dict(), 4)
+	sharded.AddBatch(stores["flat"].Triples())
+	stores["sharded"] = sharded
+
+	for name, st := range stores {
+		ts := st.Triples()
+		pats := []Pattern{
+			{},
+			{Wildcard, ts[1][P], Wildcard},
+			{ts[3][S], ts[3][P], Wildcard},
+		}
+		for _, pat := range pats {
+			for p := SPO; p <= OPS; p++ {
+				// col is the stream's sort column: the first wildcard
+				// position in permutation order.
+				order := p.Order()
+				col := -1
+				for _, c := range order {
+					if pat[c] == Wildcard {
+						col = c
+						break
+					}
+				}
+				if col < 0 {
+					continue
+				}
+				// Sample seek keys: 0, a few stream values (exact and +1),
+				// and past the end.
+				keys := []dict.ID{0, 1 << 40}
+				probe := st.NewCursor(p, pat)
+				for i := 0; ; i++ {
+					tr, ok := probe.Next()
+					if !ok {
+						break
+					}
+					if i%17 == 0 {
+						keys = append(keys, tr[col], tr[col]+1)
+					}
+				}
+				for ki, key := range keys {
+					// Mix of positions before seeking: fresh cursor, and one
+					// mid-stream (a few Next calls consumed).
+					for _, pre := range []int{0, 3} {
+						ref := st.NewCursor(p, pat)
+						c := st.NewCursor(p, pat)
+						for i := 0; i < pre; i++ {
+							ref.Next()
+							c.Next()
+						}
+						c.SeekGE(col, key)
+						var want []Triple
+						for {
+							tr, ok := ref.Next()
+							if !ok {
+								break
+							}
+							if tr[col] >= key {
+								want = append(want, tr)
+							}
+						}
+						var got []Triple
+						for {
+							tr, ok := c.Next()
+							if !ok {
+								break
+							}
+							got = append(got, tr)
+						}
+						if len(got) != len(want) {
+							t.Fatalf("%s perm=%v pat=%v key#%d pre=%d: SeekGE leaves %d triples, reference %d",
+								name, p, pat, ki, pre, len(got), len(want))
+						}
+						for i := range got {
+							if got[i] != want[i] {
+								t.Fatalf("%s perm=%v pat=%v key#%d pre=%d: triple %d differs: %v vs %v",
+									name, p, pat, ki, pre, i, got[i], want[i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

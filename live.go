@@ -2,9 +2,11 @@ package rdfviews
 
 import (
 	"fmt"
+	"sync"
 
 	"rdfviews/internal/engine"
 	"rdfviews/internal/maintain"
+	"rdfviews/internal/plancache"
 	"rdfviews/internal/rdf"
 )
 
@@ -47,6 +49,11 @@ type MaintainOptions struct {
 	// 1 (the default) keeps rewriting execution serial. Answers are identical
 	// either way, and each execution still sees one pinned extent generation.
 	ExecDOP int
+	// PlanCache sets the capacity of the serving-tier plan cache behind
+	// AnswerQuery and Prepare: 0 (the default) selects
+	// plancache.DefaultCapacity, a negative value disables caching entirely
+	// (every call re-parses the shape and recompiles — the benchmark oracle).
+	PlanCache int
 }
 
 // LiveViews is a materialized view set under incremental maintenance: triple
@@ -61,6 +68,13 @@ type LiveViews struct {
 	m     *maintain.Maintainer
 	stale StaleReadPolicy
 	dop   int
+
+	// Serving tier (serve.go): plan cache behind AnswerQuery/Prepare (nil
+	// when disabled via MaintainOptions.PlanCache < 0) and the lazily built
+	// canonical-code index over the workload for exact view-route matching.
+	cache    *plancache.Cache
+	widxOnce sync.Once
+	widx     map[string]int
 }
 
 // Maintain materializes the recommended views under synchronous incremental
@@ -95,7 +109,11 @@ func (r *Recommendation) MaintainWithOptions(opts MaintainOptions) (*LiveViews, 
 	if err != nil {
 		return nil, err
 	}
-	return &LiveViews{rec: r, m: m, stale: opts.StaleReads, dop: opts.ExecDOP}, nil
+	lv := &LiveViews{rec: r, m: m, stale: opts.StaleReads, dop: opts.ExecDOP}
+	if opts.PlanCache >= 0 {
+		lv.cache = plancache.New(opts.PlanCache, nil)
+	}
+	return lv, nil
 }
 
 // parseTriple parses one N-Triples-style line.

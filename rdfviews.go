@@ -71,9 +71,12 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"rdfviews/internal/cq"
+	"rdfviews/internal/dict"
 	"rdfviews/internal/engine"
+	"rdfviews/internal/plancache"
 	"rdfviews/internal/rdf"
 	"rdfviews/internal/store"
 )
@@ -83,6 +86,18 @@ import (
 type Database struct {
 	st     *store.Store
 	schema *rdf.Schema
+
+	// Serving-path plan cache (serve.go): Answer and ExplainQuery cache
+	// compiled artifacts keyed by canonicalized, constant-lifted query shape.
+	serveOnce  sync.Once
+	serveCache *plancache.Cache
+
+	// Saturated-copy cache for ReasoningSaturate, pinned to the (store epoch,
+	// schema size) it was computed from.
+	satMu        sync.Mutex
+	satStore     *store.Store
+	satEpoch     uint64
+	satSchemaLen int
 }
 
 // NewDatabase returns an empty database with an empty schema, backed by a
@@ -265,9 +280,12 @@ func (db *Database) ParseSPARQLWorkload(text string) (*Workload, error) {
 // views), returning decoded rows. Reasoning is honored per the mode: with
 // ReasoningSaturate the query runs on a saturated copy; with the
 // reformulation modes the query is reformulated first; with ReasoningNone
-// the explicit triples only.
+// the explicit triples only. Compiled plans (and, under ReasoningSaturate,
+// the saturated copy itself) are cached by canonicalized query shape with
+// liftable constants parameterized, so repeated shapes skip reformulation
+// and planning; see CacheStats and InvalidatePlans.
 func (db *Database) Answer(q *cq.Query, mode Reasoning) ([][]string, error) {
-	rel, err := db.answerRelation(q, mode)
+	rel, err := db.answerCached(q, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -278,33 +296,54 @@ func (db *Database) Answer(q *cq.Query, mode Reasoning) ([][]string, error) {
 // directly on the store (explicit triples only): the chosen index-scan
 // permutations, join operators (merge joins with residual equalities, hash
 // joins with their build side, explicit Sorts at sort breaks) and ordering,
-// annotated with estimated cardinalities. For the plans behind a
-// recommendation, see Recommendation.ExplainPhysical.
+// annotated with estimated cardinalities. The plan comes from the same cache
+// Answer uses, so explaining a query leaves its plan warm. For the plans
+// behind a recommendation, see Recommendation.ExplainPhysical.
 func (db *Database) ExplainQuery(q *cq.Query) (string, error) {
-	p, err := engine.PlanQuery(db.st, q)
-	if err != nil {
-		return "", err
-	}
-	return p.Explain(), nil
+	return db.explainCached(q)
 }
 
+// decodeRows decodes dictionary-encoded result rows to strings. One string
+// slice backs the whole result (row slices are carved out of it), repeated
+// IDs decode once through a per-call memo, and rows are assumed rectangular
+// (they are: relations are fixed-arity) — together this cuts the serving
+// path's per-answer allocations from O(rows·cols) to O(distinct values).
 func (db *Database) decodeRows(rel *engine.Relation) [][]string {
-	out := make([][]string, 0, rel.Len())
-	for _, row := range rel.Rows {
-		r := make([]string, len(row))
+	n := rel.Len()
+	if n == 0 {
+		return [][]string{}
+	}
+	arity := len(rel.Rows[0])
+	out := make([][]string, n)
+	if arity == 0 {
+		return out
+	}
+	flat := make([]string, n*arity)
+	hint := n * arity
+	if hint > 64 {
+		hint = 64
+	}
+	memo := make(map[dict.ID]string, hint)
+	d := db.st.Dict()
+	for ri, row := range rel.Rows {
+		r := flat[ri*arity : (ri+1)*arity : (ri+1)*arity]
 		for i, id := range row {
-			t, err := db.st.Dict().Decode(id)
-			if err != nil {
-				r[i] = fmt.Sprintf("?%d", id)
-				continue
+			s, ok := memo[id]
+			if !ok {
+				t, err := d.Decode(id)
+				switch {
+				case err != nil:
+					s = fmt.Sprintf("?%d", id)
+				case t.Kind == rdf.IRI:
+					s = rdf.ShortenIRI(t.Value)
+				default:
+					s = t.Value
+				}
+				memo[id] = s
 			}
-			if t.Kind == rdf.IRI {
-				r[i] = rdf.ShortenIRI(t.Value)
-			} else {
-				r[i] = t.Value
-			}
+			r[i] = s
 		}
-		out = append(out, r)
+		out[ri] = r
 	}
 	return out
 }
