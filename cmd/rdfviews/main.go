@@ -44,17 +44,27 @@
 // constant shape hit the same cached artifact, so the ledger shows what plan
 // caching would buy the workload as a query stream. Implies the live
 // maintenance path (the cache serves maintained views).
+//
+// -serve ADDR starts the SPARQL-over-HTTP serving tier on ADDR (e.g. :8080)
+// over the maintained views: GET/POST /sparql streams SPARQL JSON results
+// with per-request deadlines and admission control, /stats reports the
+// request and plan-cache ledgers. SIGINT/SIGTERM drains in-flight requests
+// and exits. Implies the live maintenance path.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"rdfviews"
+	"rdfviews/internal/server"
 )
 
 func main() {
@@ -74,6 +84,7 @@ func main() {
 		asyncQueue = flag.Int("async-maintain", 0, "maintain views asynchronously behind a change queue of this depth (0 = synchronous maintenance)")
 		staleReads = flag.String("stale-reads", "serve-stale", "answering policy over asynchronously maintained views: serve-stale|wait-fresh")
 		cacheStats = flag.Bool("cache-stats", false, "answer the workload through the serving-tier plan cache and print the hit/miss/eviction/compile-time ledger")
+		serveAddr  = flag.String("serve", "", "serve SPARQL over HTTP on this address (e.g. :8080): GET/POST /sparql streams results over the maintained views, /stats reports the ledgers")
 	)
 	flag.Parse()
 	if *dataPath == "" || *queryPath == "" {
@@ -135,7 +146,7 @@ func main() {
 	}
 
 	switch {
-	case *updates != "" || *asyncQueue > 0 || *cacheStats:
+	case *updates != "" || *asyncQueue > 0 || *cacheStats || *serveAddr != "":
 		// Live maintenance path: updates stream through the maintainer and
 		// -answer runs over the maintained (possibly lagging) extents.
 		policy := rdfviews.ServeStale
@@ -174,6 +185,11 @@ func main() {
 		if *cacheStats {
 			fmt.Printf("\nplan cache: %s\n", lv.CacheStats())
 		}
+		if *serveAddr != "" {
+			if err := serveHTTP(lv, *serveAddr); err != nil {
+				fatal(err)
+			}
+		}
 		if err := lv.Close(); err != nil {
 			fatal(err)
 		}
@@ -185,6 +201,45 @@ func main() {
 		mat.ExecDOP = *execDOP
 		fmt.Printf("\nmaterialized %d rows (%d bytes)\n", mat.NumRows(), mat.SizeBytes())
 		answerQueries(w.Len(), *maxRows, mat.Answer)
+	}
+}
+
+// serveHTTP runs the SPARQL-over-HTTP front end over the maintained views
+// until SIGINT/SIGTERM, then drains in-flight requests and returns.
+func serveHTTP(lv *rdfviews.LiveViews, addr string) error {
+	srv, err := server.New(server.Config{
+		Backend: server.BackendFunc(func(ctx context.Context, q string) (server.Stream, error) {
+			s, err := lv.AnswerQueryStream(ctx, q)
+			if err != nil {
+				return nil, err
+			}
+			return s, nil
+		}),
+		StatsExtra: func() map[string]any {
+			return map[string]any{"plan_cache": lv.CacheStats()}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(addr) }()
+	fmt.Printf("\nserving SPARQL on %s (endpoints: /sparql, /stats); Ctrl-C to stop\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Printf("\n%s: draining in-flight requests\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		fmt.Printf("served: %s\n", srv.Counters().Snapshot())
+		return nil
 	}
 }
 

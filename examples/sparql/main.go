@@ -1,15 +1,22 @@
 // SPARQL: view selection driven by SPARQL basic graph patterns — the
-// paper's query language (the BGP fragment of SPARQL, Section 2).
+// paper's query language (the BGP fragment of SPARQL, Section 2) — and the
+// SPARQL-over-HTTP serving tier answering the same queries over the wire.
 //
 // Run: go run ./examples/sparql
 package main
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
 	"time"
 
 	"rdfviews"
+	"rdfviews/internal/server"
 )
 
 func main() {
@@ -70,4 +77,35 @@ SELECT ?w WHERE { ?w a artwork . }
 	// The artwork query answers include paintings known only through the
 	// range(hasPainted)=painting and painting ⊑ artwork entailments — the
 	// views were reformulated, the database never saturated.
+
+	// The same database behind the network serving tier: internal/server's
+	// streaming /sparql endpoint over the post-reformulation answering
+	// surface (a maintained LiveViews deployment plugs in the same way via
+	// AnswerQueryStream).
+	srv, err := server.New(server.Config{
+		Backend: server.BackendFunc(func(ctx context.Context, q string) (server.Stream, error) {
+			s, err := db.AnswerQueryStream(ctx, q, rdfviews.ReasoningPost)
+			if err != nil {
+				return nil, err
+			}
+			return s, nil
+		}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	q := `SELECT ?x ?z WHERE { ?x <hasPainted> <starryNight> . ?x <isParentOf> ?y . ?y <hasPainted> ?z . }`
+	resp, err := http.Get(hs.URL + "/sparql?query=" + url.QueryEscape(q))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nHTTP %s -> %s\n%s\n", "/sparql?query="+q, resp.Status, body)
 }

@@ -53,6 +53,23 @@ func (p *Parser) VarByName(name string) Term {
 // queries get fresh variables even for repeated names.
 func (p *Parser) ResetNames() { p.names = make(map[string]Term) }
 
+// NameOf returns the source name the variable was parsed under, or "" when
+// the term is not a variable of this parser's current namespace (a constant,
+// a FreshVar never named, or a variable from before a ResetNames). Serving
+// surfaces use it to label result columns with the query's own variable
+// names.
+func (p *Parser) NameOf(t Term) string {
+	if !t.IsVar() {
+		return ""
+	}
+	for name, v := range p.names {
+		if v == t {
+			return name
+		}
+	}
+	return ""
+}
+
 // ParseQuery parses one query.
 func (p *Parser) ParseQuery(s string) (*Query, error) {
 	s = strings.TrimSpace(s)

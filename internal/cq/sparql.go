@@ -24,6 +24,32 @@ import (
 // "literals", _:blank nodes (treated as existential variables, Section 2),
 // and the 'a' shorthand for rdf:type. DISTINCT is accepted and ignored
 // (evaluation is set-semantics throughout).
+//
+// Parse errors carry the 1-based line:column of the offending token and a
+// short context snippet, so a malformed query arriving over the network is
+// diagnosable from the error string alone.
+
+// sparqlToken is one lexed token with its byte offset into the source.
+type sparqlToken struct {
+	text string
+	off  int
+}
+
+// sparqlPos converts a byte offset to a 1-based line and column.
+func sparqlPos(src string, off int) (line, col int) {
+	if off > len(src) {
+		off = len(src)
+	}
+	line = 1 + strings.Count(src[:off], "\n")
+	col = off - strings.LastIndexByte(src[:off], '\n')
+	return line, col
+}
+
+// sparqlErrf builds a positioned parse error: "cq: sparql:LINE:COL: ...".
+func sparqlErrf(src string, off int, format string, args ...any) error {
+	line, col := sparqlPos(src, off)
+	return fmt.Errorf("cq: sparql:%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
 
 // ParseSPARQL parses one BGP SELECT query into a conjunctive query.
 func (p *Parser) ParseSPARQL(text string) (*Query, error) {
@@ -32,13 +58,14 @@ func (p *Parser) ParseSPARQL(text string) (*Query, error) {
 		return nil, err
 	}
 	i := 0
-	peek := func() string {
+	eofTok := sparqlToken{text: "", off: len(text)}
+	peek := func() sparqlToken {
 		if i < len(toks) {
 			return toks[i]
 		}
-		return ""
+		return eofTok
 	}
-	next := func() string {
+	next := func() sparqlToken {
 		t := peek()
 		i++
 		return t
@@ -48,79 +75,84 @@ func (p *Parser) ParseSPARQL(text string) (*Query, error) {
 		"rdf:":  rdf.RDFNS,
 		"rdfs:": rdf.RDFSNS,
 	}
-	for strings.EqualFold(peek(), "PREFIX") {
-		next()
+	for strings.EqualFold(peek().text, "PREFIX") {
+		at := next()
 		name := next()
 		iri := next()
-		if !strings.HasSuffix(name, ":") || !strings.HasPrefix(iri, "<") || !strings.HasSuffix(iri, ">") {
-			return nil, fmt.Errorf("cq: malformed PREFIX %q %q", name, iri)
+		if !strings.HasSuffix(name.text, ":") || !strings.HasPrefix(iri.text, "<") || !strings.HasSuffix(iri.text, ">") {
+			return nil, sparqlErrf(text, at.off, "malformed PREFIX %q %q (want 'PREFIX name: <iri>')", name.text, iri.text)
 		}
-		prefixes[name] = iri[1 : len(iri)-1]
+		prefixes[name.text] = iri.text[1 : len(iri.text)-1]
 	}
 
-	if !strings.EqualFold(peek(), "SELECT") {
-		return nil, fmt.Errorf("cq: expected SELECT, got %q", peek())
+	if !strings.EqualFold(peek().text, "SELECT") {
+		return nil, sparqlErrf(text, peek().off, "expected SELECT, got %q", peek().text)
 	}
 	next()
-	if strings.EqualFold(peek(), "DISTINCT") {
+	if strings.EqualFold(peek().text, "DISTINCT") {
 		next()
 	}
 	var headNames []string
 	star := false
-	for peek() != "" && !strings.EqualFold(peek(), "WHERE") && peek() != "{" {
+	for peek().text != "" && !strings.EqualFold(peek().text, "WHERE") && peek().text != "{" {
 		t := next()
 		switch {
-		case t == "*":
+		case t.text == "*":
 			star = true
-		case strings.HasPrefix(t, "?") || strings.HasPrefix(t, "$"):
-			headNames = append(headNames, t[1:])
+		case strings.HasPrefix(t.text, "?") || strings.HasPrefix(t.text, "$"):
+			if len(t.text) == 1 {
+				return nil, sparqlErrf(text, t.off, "bare variable marker %q in SELECT clause", t.text)
+			}
+			headNames = append(headNames, t.text[1:])
 		default:
-			return nil, fmt.Errorf("cq: unexpected token %q in SELECT clause", t)
+			return nil, sparqlErrf(text, t.off, "unexpected token %q in SELECT clause (want ?var or *)", t.text)
 		}
 	}
-	if strings.EqualFold(peek(), "WHERE") {
+	if strings.EqualFold(peek().text, "WHERE") {
 		next()
 	}
-	if peek() != "{" {
-		return nil, fmt.Errorf("cq: expected '{', got %q", peek())
+	if peek().text != "{" {
+		return nil, sparqlErrf(text, peek().off, "expected '{', got %q", peek().text)
 	}
 	next()
 
-	resolve := func(tok string) (Term, error) {
+	resolve := func(tok sparqlToken) (Term, error) {
+		s := tok.text
 		switch {
-		case tok == "a":
+		case s == "a":
 			return Const(p.Dict.EncodeIRI(rdf.RDFType)), nil
-		case strings.HasPrefix(tok, "?") || strings.HasPrefix(tok, "$"):
-			if len(tok) == 1 {
-				return 0, fmt.Errorf("cq: bare variable marker")
+		case strings.HasPrefix(s, "?") || strings.HasPrefix(s, "$"):
+			if len(s) == 1 {
+				return 0, sparqlErrf(text, tok.off, "bare variable marker %q", s)
 			}
-			return p.VarByName(tok[1:]), nil
-		case strings.HasPrefix(tok, "_:"):
-			return p.VarByName(tok), nil
-		case strings.HasPrefix(tok, "<") && strings.HasSuffix(tok, ">"):
-			return Const(p.Dict.Encode(rdf.NewIRI(tok[1 : len(tok)-1]))), nil
-		case strings.HasPrefix(tok, `"`):
-			if len(tok) < 2 || !strings.HasSuffix(tok, `"`) {
-				return 0, fmt.Errorf("cq: malformed literal %s", tok)
+			return p.VarByName(s[1:]), nil
+		case strings.HasPrefix(s, "_:"):
+			return p.VarByName(s), nil
+		case strings.HasPrefix(s, "<") && strings.HasSuffix(s, ">"):
+			return Const(p.Dict.Encode(rdf.NewIRI(s[1 : len(s)-1]))), nil
+		case strings.HasPrefix(s, `"`):
+			if len(s) < 2 || !strings.HasSuffix(s, `"`) {
+				return 0, sparqlErrf(text, tok.off, "malformed literal %s", s)
 			}
-			return Const(p.Dict.Encode(rdf.NewLiteral(tok[1 : len(tok)-1]))), nil
+			return Const(p.Dict.Encode(rdf.NewLiteral(s[1 : len(s)-1]))), nil
 		default:
-			if c := strings.Index(tok, ":"); c >= 0 {
-				if ns, ok := prefixes[tok[:c+1]]; ok {
-					return Const(p.Dict.Encode(rdf.NewIRI(ns + tok[c+1:]))), nil
+			if c := strings.Index(s, ":"); c >= 0 {
+				if ns, ok := prefixes[s[:c+1]]; ok {
+					return Const(p.Dict.Encode(rdf.NewIRI(ns + s[c+1:]))), nil
 				}
 			}
-			return Const(p.Dict.EncodeIRI(tok)), nil
+			return Const(p.Dict.EncodeIRI(s)), nil
 		}
 	}
 
 	var atoms []Atom
-	for peek() != "}" && peek() != "" {
+	for peek().text != "}" && peek().text != "" {
 		var atom Atom
 		for pos := 0; pos < 3; pos++ {
 			tok := next()
-			if tok == "" || tok == "}" || tok == "." {
-				return nil, fmt.Errorf("cq: incomplete triple pattern")
+			if tok.text == "" || tok.text == "}" || tok.text == "." {
+				return nil, sparqlErrf(text, tok.off,
+					"incomplete triple pattern: got %d of 3 terms", pos)
 			}
 			t, err := resolve(tok)
 			if err != nil {
@@ -129,15 +161,15 @@ func (p *Parser) ParseSPARQL(text string) (*Query, error) {
 			atom[pos] = t
 		}
 		atoms = append(atoms, atom)
-		if peek() == "." {
+		if peek().text == "." {
 			next()
 		}
 	}
-	if next() != "}" {
-		return nil, fmt.Errorf("cq: missing '}'")
+	if t := next(); t.text != "}" {
+		return nil, sparqlErrf(text, t.off, "missing '}'")
 	}
 	if len(atoms) == 0 {
-		return nil, fmt.Errorf("cq: empty basic graph pattern")
+		return nil, sparqlErrf(text, peek().off, "empty basic graph pattern")
 	}
 
 	var head []Term
@@ -164,10 +196,10 @@ func (p *Parser) MustParseSPARQL(text string) *Query {
 	return q
 }
 
-// sparqlTokens splits the input into tokens, keeping <...>, "..." and
-// punctuation ({ } .) as units, and stripping # comments.
-func sparqlTokens(s string) ([]string, error) {
-	var toks []string
+// sparqlTokens splits the input into position-tagged tokens, keeping <...>,
+// "..." and punctuation ({ } .) as units, and stripping # comments.
+func sparqlTokens(s string) ([]sparqlToken, error) {
+	var toks []sparqlToken
 	i, n := 0, len(s)
 	for i < n {
 		c := s[i]
@@ -179,17 +211,17 @@ func sparqlTokens(s string) ([]string, error) {
 				i++
 			}
 		case c == '{' || c == '}':
-			toks = append(toks, string(c))
+			toks = append(toks, sparqlToken{text: string(c), off: i})
 			i++
 		case c == '.':
-			toks = append(toks, ".")
+			toks = append(toks, sparqlToken{text: ".", off: i})
 			i++
 		case c == '<':
 			j := strings.IndexByte(s[i:], '>')
 			if j < 0 {
-				return nil, fmt.Errorf("cq: unterminated IRI")
+				return nil, sparqlErrf(s, i, "unterminated IRI")
 			}
-			toks = append(toks, s[i:i+j+1])
+			toks = append(toks, sparqlToken{text: s[i : i+j+1], off: i})
 			i += j + 1
 		case c == '"':
 			j := i + 1
@@ -200,9 +232,9 @@ func sparqlTokens(s string) ([]string, error) {
 				j++
 			}
 			if j >= n {
-				return nil, fmt.Errorf("cq: unterminated literal")
+				return nil, sparqlErrf(s, i, "unterminated literal")
 			}
-			toks = append(toks, s[i:j+1])
+			toks = append(toks, sparqlToken{text: s[i : j+1], off: i})
 			i = j + 1
 		default:
 			j := i
@@ -215,7 +247,7 @@ func sparqlTokens(s string) ([]string, error) {
 				}
 				j++
 			}
-			toks = append(toks, s[i:j])
+			toks = append(toks, sparqlToken{text: s[i:j], off: i})
 			i = j
 		}
 	}

@@ -1,0 +1,90 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+
+	"rdfviews/internal/dict"
+	"rdfviews/internal/rdf"
+)
+
+// FuzzParseSPARQL feeds arbitrary input to the SPARQL front end — the serving
+// tier hands it network-supplied text, so it must never panic — and checks a
+// semantic round-trip on everything it accepts: the parsed query rendered
+// through Format(dict) must re-parse (Datalog syntax) to the same canonical
+// code. The round-trip is only asserted when every constant renders to a
+// token the Datalog parser resolves back to the same dictionary entry
+// (Format is a display surface: an accepted IRI that renders as, say, an
+// uppercase-initial token legitimately re-parses as a variable).
+func FuzzParseSPARQL(f *testing.F) {
+	seeds := []string{
+		// The accepted fragment, from sparql_test.go and examples/sparql.
+		"SELECT ?x ?z WHERE { ?x hasPainted starryNight . ?x isParentOf ?y . ?y hasPainted ?z . }",
+		"PREFIX ex: <http://example.org/>\nSELECT ?x WHERE { ?x a ex:painter . ?x ex:name \"Vincent\" }",
+		"SELECT DISTINCT * WHERE { ?s ?p ?o }",
+		"SELECT ?x WHERE { ?x knows _:b . _:b knows ?x }",
+		"SELECT ?x WHERE { ?x <http://ex/p> <http://ex/o.v> . }",
+		"# comment\nSELECT ?x WHERE {\n  ?x p o . # trailing\n}",
+		"SELECT ?p ?w WHERE { ?p hasPainted ?w . ?p isParentOf ?c . }",
+		"SELECT ?x WHERE { ?x rdf:type painting }",
+		// Malformed shapes the parser must reject cleanly.
+		"",
+		"SELECT ?x",
+		"WHERE { ?x p o }",
+		"SELECT ?x WHERE { ?x p }",
+		"SELECT ?x WHERE { ?x p o",
+		"SELECT x WHERE { ?x p o }",
+		"SELECT ?y WHERE { ?x p o }",
+		"SELECT ?x WHERE { }",
+		"PREFIX ex <http://e/> SELECT ?x WHERE { ?x p o }",
+		"SELECT ?x WHERE { ?x p \"unterminated }",
+		"SELECT ?x WHERE { ?x <unterminated o }",
+		"SELECT ?x WHERE { ? p o }",
+		"SELECT $x WHERE { $x ?p ?o . }",
+		"PREFIX : <http://e/> SELECT * WHERE { :a :b :c }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d := dict.New()
+		p := NewParser(d)
+		q, err := p.ParseSPARQL(src) // must never panic
+		if err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("accepted query fails validation: %v\n%s", err, src)
+		}
+		// Round-trip guard: every constant must render to a single Datalog
+		// token resolving back to the same dictionary entry.
+		p2 := NewParser(d)
+		for _, c := range q.Constants() {
+			tm, err := d.Decode(c)
+			if err != nil {
+				t.Fatalf("undecodable constant %d in accepted query", c)
+			}
+			rend := tm.String()
+			if tm.Kind == rdf.IRI {
+				rend = rdf.ShortenIRI(tm.Value)
+			}
+			if rend == "" || strings.ContainsAny(rend, " \t\n\r(),") {
+				return
+			}
+			back, err := p2.parseTerm(rend)
+			if err != nil || back != Const(c) {
+				return
+			}
+		}
+		text := q.Format(d)
+		p3 := NewParser(d)
+		q2, err := p3.ParseQuery(text)
+		if err != nil {
+			t.Fatalf("accepted query does not re-parse: %v\nsparql: %q\nrendered: %q", err, src, text)
+		}
+		if q.CanonicalCode() != q2.CanonicalCode() {
+			t.Fatalf("round-trip changed the query:\nsparql:   %q\nrendered: %q\ngot  %s\nwant %s",
+				src, text, q2.CanonicalCode(), q.CanonicalCode())
+		}
+	})
+}

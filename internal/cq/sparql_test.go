@@ -1,6 +1,7 @@
 package cq
 
 import (
+	"strings"
 	"testing"
 
 	"rdfviews/internal/rdf"
@@ -111,6 +112,45 @@ func TestParseSPARQLErrors(t *testing.T) {
 	for _, s := range bad {
 		if _, err := p.ParseSPARQL(s); err == nil {
 			t.Errorf("ParseSPARQL(%q) should fail", s)
+		}
+		p.ResetNames()
+	}
+}
+
+// TestParseSPARQLErrorPositions pins the positioned diagnostics: each
+// malformed input must fail with the offending token's 1-based line:column
+// and a message naming what was wrong.
+func TestParseSPARQLErrorPositions(t *testing.T) {
+	p := newTestParser()
+	cases := []struct {
+		name, src string
+		pos       string // "line:col" of the reported token
+		contains  string // substring of the message after the position
+	}{
+		{"no select", `WHERE { ?x p o }`, "1:1", "expected SELECT"},
+		{"bad projection", `SELECT x WHERE { ?x p o }`, "1:8", "unexpected token \"x\" in SELECT clause"},
+		{"bare marker", `SELECT ? WHERE { ?x p o }`, "1:8", "bare variable marker"},
+		{"missing open brace", `SELECT ?x WHERE ( ?x p o )`, "1:17", "expected '{'"},
+		{"short pattern", `SELECT ?x WHERE { ?x p }`, "1:24", "incomplete triple pattern: got 2 of 3 terms"},
+		{"missing close brace", `SELECT ?x WHERE { ?x p o`, "1:25", "missing '}'"},
+		{"empty pattern", `SELECT * WHERE { }`, "1:19", "empty basic graph pattern"},
+		{"bad prefix", `PREFIX ex <http://e/> SELECT ?x WHERE { ?x p o }`, "1:1", "malformed PREFIX"},
+		{"unterminated literal", "SELECT ?x WHERE {\n  ?x p \"oops\n}", "2:8", "unterminated literal"},
+		{"unterminated iri", "SELECT ?x\nWHERE {\n  ?x <nope o\n}", "3:6", "unterminated IRI"},
+		{"second line token", "SELECT ?x WHERE {\n  ?x p o .\n  ?y .\n}", "3:6", "incomplete triple pattern"},
+	}
+	for _, tc := range cases {
+		_, err := p.ParseSPARQL(tc.src)
+		if err == nil {
+			t.Errorf("%s: ParseSPARQL(%q) should fail", tc.name, tc.src)
+			continue
+		}
+		want := "cq: sparql:" + tc.pos + ": "
+		if !strings.HasPrefix(err.Error(), want) {
+			t.Errorf("%s: error %q does not carry position prefix %q", tc.name, err, want)
+		}
+		if !strings.Contains(err.Error(), tc.contains) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.contains)
 		}
 		p.ResetNames()
 	}

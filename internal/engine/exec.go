@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -53,6 +54,15 @@ type ExecOptions struct {
 	// Vectorized selects the operator protocol: the zero value (VecOn) pulls
 	// column batches, VecOff the row-at-a-time oracle.
 	Vectorized VecMode
+
+	// Ctx, when non-nil, cancels the execution: operators poll its Done
+	// channel at per-batch checkpoints and stop scanning, and the drain
+	// surfaces ctx.Err(). nil (the zero value) executes to completion.
+	Ctx context.Context
+
+	// intr is the per-execution cancellation token derived from Ctx by the
+	// entry points (cancel.go); compile recursions thread it by value.
+	intr *interrupt
 }
 
 // parallelRewriteMinRows is the estimated operator input size below which
@@ -85,6 +95,7 @@ func Execute(p algebra.Plan, resolve ViewResolver) (*Relation, error) {
 // branches evaluate concurrently (see ExecOptions.DOP); answers are
 // identical across all modes.
 func ExecuteWithOptions(p algebra.Plan, resolve ViewResolver, opts ExecOptions) (*Relation, error) {
+	opts.intr = newInterrupt(opts.Ctx)
 	if opts.Vectorized != VecOff {
 		return executeVec(p, resolve, opts)
 	}
@@ -96,6 +107,9 @@ func ExecuteWithOptions(p algebra.Plan, resolve ViewResolver, opts ExecOptions) 
 	out := NewRelation(root.cols())
 	copyRows := !root.stableRows()
 	for {
+		if opts.intr.stop() {
+			return nil, opts.ctxErr()
+		}
 		row, ok := root.next()
 		if !ok {
 			break
@@ -104,6 +118,9 @@ func ExecuteWithOptions(p algebra.Plan, resolve ViewResolver, opts ExecOptions) 
 			row = append(Row(nil), row...)
 		}
 		out.Rows = append(out.Rows, row)
+	}
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -640,16 +640,18 @@ func (p *QueryPlan) Eval() (*Relation, error) {
 // (and any options with Vectorized != VecOff) runs the batch-at-a-time
 // pipeline, VecOff the historical row-at-a-time operators. Both produce
 // identical relations; the row path is retained as the differential oracle.
+// A canceled opts.Ctx aborts either path with ctx.Err().
 func (p *QueryPlan) EvalWithOptions(opts ExecOptions) (*Relation, error) {
+	opts.intr = newInterrupt(opts.Ctx)
 	if opts.Vectorized != VecOff {
-		return p.evalVec()
+		return p.evalVec(opts)
 	}
-	return p.evalRows()
+	return p.evalRows(opts)
 }
 
 // evalRows drains the row-protocol pipeline — the differential oracle for the
 // vectorized default.
-func (p *QueryPlan) evalRows() (*Relation, error) {
+func (p *QueryPlan) evalRows(opts ExecOptions) (*Relation, error) {
 	root := p.buildOps()
 	defer closeOp(root) // release parallel-scan workers on every exit path
 	out := NewRelation(p.head)
@@ -664,6 +666,9 @@ func (p *QueryPlan) evalRows() (*Relation, error) {
 		seen = newRowSet(hint)
 	}
 	for {
+		if opts.intr.stop() {
+			return nil, opts.ctxErr()
+		}
 		row, ok := root.next()
 		if !ok {
 			break
@@ -680,6 +685,9 @@ func (p *QueryPlan) evalRows() (*Relation, error) {
 		} else if kept, added := seen.addCopy(scratch); added {
 			out.Rows = append(out.Rows, kept)
 		}
+	}
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -154,6 +154,7 @@ type vecScanOp struct {
 	st    store.Reader
 	spec  *atomSpec
 	width int
+	intr  *interrupt
 
 	started bool
 	cur     store.Cursor
@@ -176,6 +177,9 @@ func (s *vecScanOp) nextBatch() (*batch, bool) {
 		s.out = newBatch(s.width)
 	}
 	for {
+		if s.intr.stop() { // cancellation checkpoint: once per decoded batch
+			return nil, false
+		}
 		n := s.cur.NextBatch(s.tris)
 		if n == 0 {
 			return nil, false
@@ -380,6 +384,7 @@ type vecHashJoinOp struct {
 	keyPos    []int // build: triple positions of the shared variables
 	leftSlots []int // slots bound by the pipeline below, copied per output row
 	width     int
+	intr      *interrupt
 
 	built  bool
 	table  *idTable       // key hash -> chain head, as triple index + 1
@@ -415,6 +420,9 @@ func (j *vecHashJoinOp) build() {
 	buf := getTris()
 	defer putTris(buf)
 	for {
+		if j.intr.stop() { // cancellation checkpoint: build drains the atom
+			break
+		}
 		bn := cur.NextBatch(buf)
 		if bn == 0 {
 			break
@@ -564,6 +572,7 @@ type vecHashJoinBuildLeftOp struct {
 	keyPos    []int // probe: triple positions of the shared variables
 	leftSlots []int // slots bound by the pipeline below (build rows' live slots)
 	width     int
+	intr      *interrupt
 
 	built  bool
 	table  *idTable // key hash -> chain head, as build row index + 1
@@ -634,6 +643,10 @@ func (j *vecHashJoinBuildLeftOp) nextBatch() (*batch, bool) {
 			}
 		}
 		if j.ti >= len(j.psel) {
+			// Cancellation checkpoint: the probe streams the atom's cursor.
+			if j.intr.stop() {
+				return nil, false
+			}
 			n := j.cur.NextBatch(j.tris)
 			if n == 0 {
 				if out.n > 0 {
@@ -811,7 +824,9 @@ func (s *vecSortOp) nextBatch() (*batch, bool) {
 // physical choices as buildOps, batch protocol instead of rows. bound tracks
 // the register slots the pipeline has bound so far: joins and sorts copy (or
 // materialize) exactly those slots, leaving the rest of each batch stale.
-func (p *QueryPlan) buildVecOps() vop {
+// intr (nil for uncancellable executions) reaches the operators that loop
+// without returning control: scans, exchanges and hash-join atom drains.
+func (p *QueryPlan) buildVecOps(intr *interrupt) vop {
 	var cur vop
 	var bound []int
 	for i := range p.steps {
@@ -821,11 +836,11 @@ func (p *QueryPlan) buildVecOps() vop {
 		case stepScan:
 			switch {
 			case s.par > 1 && s.parSlot >= 0:
-				cur = &vecGatherMergeOp{st: p.st, spec: s.spec, width: p.width, dop: s.par, slot: s.parSlot}
+				cur = &vecGatherMergeOp{st: p.st, spec: s.spec, width: p.width, dop: s.par, slot: s.parSlot, intr: intr}
 			case s.par > 1:
-				cur = &vecExchangeOp{st: p.st, spec: s.spec, width: p.width, dop: s.par}
+				cur = &vecExchangeOp{st: p.st, spec: s.spec, width: p.width, dop: s.par, intr: intr}
 			default:
-				cur = &vecScanOp{st: p.st, spec: s.spec, width: p.width}
+				cur = &vecScanOp{st: p.st, spec: s.spec, width: p.width, intr: intr}
 			}
 		case stepSort:
 			cur = &vecSortOp{in: cur, slot: s.joinSlot, slots: leftSlots, width: p.width}
@@ -835,14 +850,14 @@ func (p *QueryPlan) buildVecOps() vop {
 		case stepHashJoin:
 			if s.buildLeft {
 				cur = &vecHashJoinBuildLeftOp{left: cur, st: p.st, spec: s.spec,
-					keySlots: s.keySlots, keyPos: s.keyPos, leftSlots: leftSlots, width: p.width}
+					keySlots: s.keySlots, keyPos: s.keyPos, leftSlots: leftSlots, width: p.width, intr: intr}
 				break
 			}
 			cur = &vecHashJoinOp{left: cur, st: p.st, spec: s.spec,
-				keySlots: s.keySlots, keyPos: s.keyPos, leftSlots: leftSlots, width: p.width}
+				keySlots: s.keySlots, keyPos: s.keyPos, leftSlots: leftSlots, width: p.width, intr: intr}
 		default: // stepCross (a hash join with no key columns)
 			cur = &vecHashJoinOp{left: cur, st: p.st, spec: s.spec,
-				keySlots: s.keySlots, keyPos: s.keyPos, leftSlots: leftSlots, width: p.width}
+				keySlots: s.keySlots, keyPos: s.keyPos, leftSlots: leftSlots, width: p.width, intr: intr}
 		}
 		if s.spec != nil {
 			for _, bd := range s.spec.binds {
@@ -857,9 +872,10 @@ func (p *QueryPlan) buildVecOps() vop {
 
 // evalVec drains the vectorized pipeline: head projection reads the live rows
 // of each batch straight out of the columns, with the same arena-copied
-// output and distinct semantics as the row drain.
-func (p *QueryPlan) evalVec() (*Relation, error) {
-	root := p.buildVecOps()
+// output and distinct semantics as the row drain. A canceled opts.Ctx stops
+// the pipeline at its next checkpoint and surfaces ctx.Err().
+func (p *QueryPlan) evalVec(opts ExecOptions) (*Relation, error) {
+	root := p.buildVecOps(opts.intr)
 	defer closeVop(root) // release parallel-scan workers on every exit path
 	out := NewRelation(p.head)
 	scratch := make(Row, len(p.head))
@@ -903,6 +919,9 @@ func (p *QueryPlan) evalVec() (*Relation, error) {
 				out.Rows = append(out.Rows, kept)
 			}
 		}
+	}
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -46,7 +46,7 @@ func TestVecScanSteadyStateZeroAlloc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	root := plan.buildVecOps()
+	root := plan.buildVecOps(nil)
 	defer closeVop(root)
 	if _, ok := root.nextBatch(); !ok { // warm: allocates the owned batch
 		t.Fatal("empty scan")
@@ -76,7 +76,7 @@ func TestVecHashJoinSteadyStateZeroAlloc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	root := plan.buildVecOps()
+	root := plan.buildVecOps(nil)
 	defer closeVop(root)
 	if _, ok := root.nextBatch(); !ok { // warm: builds the hash table
 		t.Fatal("empty join")

@@ -163,7 +163,7 @@ func TestVectorizedAbandonedPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vroot := qp.buildVecOps()
+	vroot := qp.buildVecOps(nil)
 	if _, ok := vroot.nextBatch(); !ok {
 		t.Fatal("no first batch from sharded scan")
 	}

@@ -60,6 +60,9 @@ func executeVec(p algebra.Plan, resolve ViewResolver, opts ExecOptions) (*Relati
 	out := NewRelation(root.cols())
 	if s, ok := root.(vecSink); ok {
 		s.drainInto(out)
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
+		}
 		return out, nil
 	}
 	w := len(root.cols())
@@ -76,6 +79,9 @@ func executeVec(p algebra.Plan, resolve ViewResolver, opts ExecOptions) (*Relati
 			}
 			out.Rows = append(out.Rows, row)
 		}
+	}
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -94,7 +100,7 @@ func compileVecRel(p algebra.Plan, resolve ViewResolver, opts ExecOptions) (vrop
 				int(n.View), len(n.Cols), base.Arity())
 		}
 		eq := repeatedLabelPairs(n.Cols)
-		op := &vecRelScanOp{view: n.View, rows: base.Rows, labels: n.Cols, eq: eq}
+		op := &vecRelScanOp{view: n.View, rows: base.Rows, labels: n.Cols, eq: eq, intr: opts.intr}
 		return op, scanEst(float64(len(base.Rows)), len(eq)), nil
 	case *algebra.Select:
 		in, est, err := compileVecRel(n.Input, resolve, opts)
@@ -149,7 +155,7 @@ func compileVecRel(p algebra.Plan, resolve ViewResolver, opts ExecOptions) (vrop
 			return newVecParallelHashJoin(left, right, shape, lIdx, rIdx, buildLeft, opts.DOP), est, nil
 		}
 		return &vecHashJoinRelOp{left: left, right: right, shape: shape, lIdx: lIdx, rIdx: rIdx,
-			buildLeft: buildLeft, leftWidth: len(left.cols())}, est, nil
+			buildLeft: buildLeft, leftWidth: len(left.cols()), intr: opts.intr}, est, nil
 	case *algebra.Union:
 		if len(n.Branches) == 0 {
 			return nil, 0, fmt.Errorf("engine: empty union")
@@ -186,6 +192,7 @@ type vecRelScanOp struct {
 	rows   []Row
 	labels []cq.Term
 	eq     [][2]int
+	intr   *interrupt
 	i      int
 	out    *batch
 }
@@ -203,6 +210,9 @@ func (s *vecRelScanOp) nextBatch() (*batch, bool) {
 		s.out = newBatch(w)
 	}
 	for s.i < len(s.rows) {
+		if s.intr.stop() { // cancellation checkpoint: once per transposed batch
+			return nil, false
+		}
 		n := len(s.rows) - s.i
 		if n > BatchSize {
 			n = BatchSize
@@ -241,7 +251,7 @@ func (s *vecRelScanOp) splitVec(parts int) []vrop {
 	out := make([]vrop, parts)
 	for p := 0; p < parts; p++ {
 		lo, hi := p*len(rows)/parts, (p+1)*len(rows)/parts
-		out[p] = &vecRelScanOp{view: s.view, rows: rows[lo:hi], labels: s.labels, eq: s.eq}
+		out[p] = &vecRelScanOp{view: s.view, rows: rows[lo:hi], labels: s.labels, eq: s.eq, intr: s.intr}
 	}
 	return out
 }
@@ -471,6 +481,7 @@ type vecHashJoinRelOp struct {
 	lIdx, rIdx  []int
 	buildLeft   bool
 	leftWidth   int
+	intr        *interrupt
 
 	built  bool
 	eof    bool
@@ -526,6 +537,11 @@ func (j *vecHashJoinRelOp) build() {
 		j.brows = rows
 		j.chains = make([]int32, len(rows))
 		for r, row := range rows {
+			// Cancellation checkpoint: the zero-copy build walks the whole
+			// extent with no batch boundary to poll at.
+			if r&(BatchSize-1) == 0 && j.intr.stop() {
+				break
+			}
 			h := hashValues(row, idx)
 			j.chains[r] = j.table.get(h)
 			j.table.put(h, int32(r+1))

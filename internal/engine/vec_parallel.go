@@ -16,14 +16,19 @@ import (
 // per batch.
 
 // vecScanShard streams one shard's matching triples as pooled column batches.
-// It returns early when done closes. Batches with no surviving rows (all
-// dropped by repeated-variable checks) are recycled, never sent, preserving
-// the vop contract that delivered batches are non-empty.
-func vecScanShard(st store.Reader, shard int, spec *atomSpec, pool *batchPool, out chan<- *batch, done <-chan struct{}) {
+// It returns early when done closes or intr fires (the cancellation checkpoint
+// also covers batches a send would never flush: fully-filtered ones). Batches
+// with no surviving rows (all dropped by repeated-variable checks) are
+// recycled, never sent, preserving the vop contract that delivered batches are
+// non-empty.
+func vecScanShard(st store.Reader, shard int, spec *atomSpec, pool *batchPool, out chan<- *batch, done <-chan struct{}, intr *interrupt) {
 	cur := st.ShardCursor(shard, spec.perm, spec.pat)
 	tris := getTris()
 	defer putTris(tris)
 	for {
+		if intr.stop() {
+			return
+		}
 		n := cur.NextBatch(tris)
 		if n == 0 {
 			return
@@ -52,6 +57,7 @@ type vecExchangeOp struct {
 	spec  *atomSpec
 	width int
 	dop   int
+	intr  *interrupt
 
 	started bool
 	closed  bool
@@ -70,7 +76,7 @@ func (e *vecExchangeOp) start() {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
-			vecScanShard(e.st, shard, e.spec, e.pool, e.ch, e.done)
+			vecScanShard(e.st, shard, e.spec, e.pool, e.ch, e.done, e.intr)
 		}(s)
 	}
 	go func() {
@@ -150,6 +156,7 @@ type vecGatherMergeOp struct {
 	width int
 	dop   int
 	slot  int // register slot the streams are merged on
+	intr  *interrupt
 
 	started   bool
 	closed    bool
@@ -175,7 +182,7 @@ func (g *vecGatherMergeOp) start() {
 		g.streams[s].ch = ch
 		go func(shard int, out chan *batch) {
 			defer close(out)
-			vecScanShard(g.st, shard, g.spec, g.pool, out, g.done)
+			vecScanShard(g.st, shard, g.spec, g.pool, out, g.done, g.intr)
 		}(s, ch)
 	}
 	g.out = newBatch(g.width)

@@ -1,0 +1,395 @@
+// Package server is the SPARQL-over-HTTP serving tier: a production-shaped
+// front end over the library's streaming answer surface. It exposes
+//
+//	GET  /sparql?query=...&timeout=...   (also POST: form or raw query body)
+//	GET  /stats
+//
+// with the serving semantics a network tier needs and a library call does
+// not:
+//
+//   - Streamed result writing with backpressure: the response encodes one
+//     row slab at a time and flushes it before pulling the next, so a slow
+//     client holds O(batch) server memory, never O(result).
+//   - Deadlines as cancellation: every request runs under a context that
+//     expires at its (client-chosen, server-capped) timeout and is canceled
+//     when the client disconnects; the engine's cancellation checkpoints
+//     stop the pipeline mid-query either way.
+//   - Admission control: a bounded in-flight semaphore plus a bounded wait
+//     queue. Requests beyond in-flight capacity queue; beyond queue capacity
+//     they shed immediately with 503, and queued requests that wait past the
+//     queue timeout shed with 429 + Retry-After — overload degrades into
+//     fast rejections instead of collapse.
+//   - Graceful shutdown: Shutdown stops accepting and drains in-flight
+//     requests (net/http's lame-duck semantics).
+//
+// Results are SPARQL JSON (application/sparql-results+json): head.vars from
+// the query's own variable names, one binding object per row. Mid-stream
+// failures cannot change the status line, so a truncated result closes the
+// JSON with a nonstandard "error" member the client can detect.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"rdfviews/internal/stats"
+)
+
+// Stream is one query's result stream, the shape of rdfviews.AnswerStream:
+// column names, decoded row slabs (valid until the next Next; nil = EOF),
+// and a mandatory Close.
+type Stream interface {
+	Columns() []string
+	Next() ([][]string, error)
+	Close()
+}
+
+// Backend answers query text with a result stream, honoring ctx cancellation
+// mid-query. rdfviews.LiveViews.AnswerQueryStream and
+// rdfviews.Database.AnswerQueryStream both fit through BackendFunc.
+type Backend interface {
+	AnswerStream(ctx context.Context, query string) (Stream, error)
+}
+
+// BackendFunc adapts a function to Backend.
+type BackendFunc func(ctx context.Context, query string) (Stream, error)
+
+// AnswerStream calls f.
+func (f BackendFunc) AnswerStream(ctx context.Context, query string) (Stream, error) {
+	return f(ctx, query)
+}
+
+// Config parameterizes a Server; zero values select the documented defaults.
+type Config struct {
+	// Backend answers the queries. Required.
+	Backend Backend
+	// MaxInFlight bounds concurrently executing queries (default
+	// 2×GOMAXPROCS — queries are CPU-bound, a small multiple keeps cores
+	// busy while one blocks on a slow client).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot (default
+	// 4×MaxInFlight). A full queue sheds new requests with 503.
+	MaxQueue int
+	// QueueTimeout bounds how long a queued request waits before shedding
+	// with 429 + Retry-After (default 1s).
+	QueueTimeout time.Duration
+	// DefaultTimeout is the per-request execution deadline when the client
+	// sends none (default 30s); MaxTimeout caps what a client may request
+	// via the timeout parameter (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// StatsExtra, when set, contributes extra sections to the /stats payload
+	// (e.g. the backend's plan-cache snapshot) keyed by section name.
+	StatsExtra func() map[string]any
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Server is the HTTP front end. Create with New, serve with ListenAndServe
+// or Serve (or mount Handler on an existing mux), stop with Shutdown.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	hs       *http.Server
+	sem      chan struct{} // execution slots
+	queue    chan struct{} // wait-queue slots
+	counters stats.ServeCounters
+}
+
+// New validates the config and builds the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("server: Config.Backend is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		queue: make(chan struct{}, cfg.MaxQueue),
+	}
+	s.mux.HandleFunc("/sparql", s.handleQuery)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.hs = &http.Server{Handler: s.mux}
+	return s, nil
+}
+
+// Handler returns the server's handler (for httptest or an external mux).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Counters exposes the request ledger (also served on /stats).
+func (s *Server) Counters() *stats.ServeCounters { return &s.counters }
+
+// ListenAndServe serves on addr until Shutdown; like net/http, it returns
+// http.ErrServerClosed after a clean shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve serves on an existing listener (the caller picked the port).
+func (s *Server) Serve(l net.Listener) error { return s.hs.Serve(l) }
+
+// Shutdown gracefully stops the server: no new requests, in-flight requests
+// drain until done or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error { return s.hs.Shutdown(ctx) }
+
+// queryText extracts the query from a request: the query form/URL parameter
+// (GET or POST form), or the raw POST body under application/sparql-query.
+func queryText(r *http.Request) (string, error) {
+	if r.Method == http.MethodPost &&
+		strings.HasPrefix(r.Header.Get("Content-Type"), "application/sparql-query") {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			return "", fmt.Errorf("reading query body: %w", err)
+		}
+		if len(body) == 0 {
+			return "", fmt.Errorf("empty query body")
+		}
+		return string(body), nil
+	}
+	q := r.FormValue("query")
+	if q == "" {
+		return "", fmt.Errorf("missing query parameter")
+	}
+	return q, nil
+}
+
+// timeoutFor resolves the request's execution deadline: the timeout
+// parameter (a Go duration like 500ms, or a bare number of seconds), capped
+// at MaxTimeout, defaulting to DefaultTimeout.
+func (s *Server) timeoutFor(r *http.Request) (time.Duration, error) {
+	raw := r.FormValue("timeout")
+	if raw == "" {
+		return s.cfg.DefaultTimeout, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		secs, serr := strconv.ParseFloat(raw, 64)
+		if serr != nil {
+			return 0, fmt.Errorf("bad timeout %q (want a duration like 500ms or seconds)", raw)
+		}
+		d = time.Duration(secs * float64(time.Second))
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("bad timeout %q (must be positive)", raw)
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// admit applies admission control: fast-path slot acquire, else a bounded
+// queue wait. It returns a release func on admission, or the HTTP status to
+// shed with (503 queue-full, 429 queue-timeout; 0 status with nil release
+// means the client is gone and the response does not matter).
+func (s *Server) admit(ctx context.Context) (release func(), status int) {
+	select {
+	case s.sem <- struct{}{}:
+		s.counters.Admitted.Add(1)
+		return func() { <-s.sem }, 0
+	default:
+	}
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.counters.ShedFull.Add(1)
+		return nil, http.StatusServiceUnavailable
+	}
+	defer func() { <-s.queue }() // the queue slot is held only while waiting
+	s.counters.Queued.Add(1)
+	t := time.NewTimer(s.cfg.QueueTimeout)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		s.counters.Admitted.Add(1)
+		return func() { <-s.sem }, 0
+	case <-t.C:
+		s.counters.ShedWait.Add(1)
+		return nil, http.StatusTooManyRequests
+	case <-ctx.Done():
+		s.counters.Canceled.Add(1)
+		return nil, 0
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.counters.Requests.Add(1)
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	query, err := queryText(r)
+	if err != nil {
+		s.counters.BadQuery.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	timeout, err := s.timeoutFor(r)
+	if err != nil {
+		s.counters.BadQuery.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	release, status := s.admit(r.Context())
+	if release == nil {
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.QueueTimeout/time.Second)+1))
+			http.Error(w, "server overloaded, retry later", status)
+		}
+		return
+	}
+	defer release()
+	s.counters.InFlight.Add(1)
+	defer s.counters.InFlight.Add(-1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	st, err := s.cfg.Backend.AnswerStream(ctx, query)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.counters.Canceled.Add(1)
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+			return
+		}
+		s.counters.BadQuery.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer st.Close()
+	s.writeResults(ctx, w, st)
+}
+
+// countingWriter counts response body bytes into the ledger.
+type countingWriter struct {
+	w io.Writer
+	c *stats.ServeCounters
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Bytes.Add(int64(n))
+	return n, err
+}
+
+// writeResults streams the SPARQL JSON result document: head first, then one
+// binding object per row, encoded and flushed slab by slab. Backpressure is
+// the write itself — the next slab is pulled only after this one reached the
+// socket (or its buffer), so server-side result state stays O(batch).
+func (s *Server) writeResults(ctx context.Context, w http.ResponseWriter, st Stream) {
+	h := w.Header()
+	h.Set("Content-Type", "application/sparql-results+json")
+	h.Set("Cache-Control", "no-store")
+	cw := &countingWriter{w: w, c: &s.counters}
+	flusher, _ := w.(http.Flusher)
+
+	cols := st.Columns()
+	// Pre-marshal the per-column key prefix `"name":{"type":"literal","value":`.
+	keys := make([][]byte, len(cols))
+	for i, c := range cols {
+		name, _ := json.Marshal(c)
+		keys[i] = []byte(string(name) + `:{"type":"literal","value":`)
+	}
+	headVars, _ := json.Marshal(cols)
+	if _, err := fmt.Fprintf(cw, `{"head":{"vars":%s},"results":{"bindings":[`, headVars); err != nil {
+		s.counters.Canceled.Add(1)
+		return
+	}
+
+	var buf bytes.Buffer
+	first := true
+	for {
+		rows, err := st.Next()
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.counters.Canceled.Add(1)
+			}
+			// The status line is already on the wire: close the JSON with a
+			// nonstandard error member so truncation is detectable.
+			msg, _ := json.Marshal(err.Error())
+			fmt.Fprintf(cw, `]},"error":%s}`, msg)
+			return
+		}
+		if rows == nil {
+			break
+		}
+		buf.Reset()
+		for _, row := range rows {
+			if !first {
+				buf.WriteByte(',')
+			}
+			first = false
+			buf.WriteByte('{')
+			for i, v := range row {
+				if i > 0 {
+					buf.WriteByte(',')
+				}
+				buf.Write(keys[i])
+				val, _ := json.Marshal(v)
+				buf.Write(val)
+				buf.WriteByte('}')
+			}
+			buf.WriteByte('}')
+		}
+		s.counters.Rows.Add(int64(len(rows)))
+		if _, err := cw.Write(buf.Bytes()); err != nil {
+			// The client went away mid-write. Its disconnect cancels ctx
+			// (bounded by the request deadline in any case); wait for that,
+			// then give the pipeline one final pull so it stops at an engine
+			// cancellation checkpoint instead of being abandoned mid-flight.
+			s.counters.Canceled.Add(1)
+			<-ctx.Done()
+			st.Next()
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	io.WriteString(cw, "]}}")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	out := map[string]any{"server": s.counters.Snapshot()}
+	if s.cfg.StatsExtra != nil {
+		for k, v := range s.cfg.StatsExtra() {
+			out[k] = v
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}

@@ -57,3 +57,57 @@ func (s CacheSnapshot) String() string {
 		s.Hits, s.Misses, 100*s.HitRate(), s.Evictions, s.Invalidations,
 		s.CompileTime.Round(time.Microsecond), s.CompileTimeSaved.Round(time.Microsecond))
 }
+
+// ServeCounters is the HTTP front end's request ledger: admission decisions,
+// sheds, cancellations and streamed volume. All fields are atomics — handler
+// goroutines update them without locks — and InFlight is a gauge, not a
+// counter.
+type ServeCounters struct {
+	Requests atomic.Int64 // requests received on the query endpoint
+	Admitted atomic.Int64 // requests that acquired an execution slot
+	Queued   atomic.Int64 // admitted-path requests that waited in the queue
+	ShedFull atomic.Int64 // rejected: queue at capacity (HTTP 503)
+	ShedWait atomic.Int64 // rejected: queue wait exceeded its timeout (HTTP 429)
+	BadQuery atomic.Int64 // rejected: parse/validation failure (HTTP 400)
+	Canceled atomic.Int64 // executions cut short by disconnect or deadline
+	Rows     atomic.Int64 // result rows streamed to clients
+	Bytes    atomic.Int64 // response body bytes written
+	InFlight atomic.Int64 // currently executing requests (gauge)
+}
+
+// ServeSnapshot is a point-in-time copy of ServeCounters for reporting; it
+// marshals directly as the /stats JSON payload.
+type ServeSnapshot struct {
+	Requests int64 `json:"requests"`
+	Admitted int64 `json:"admitted"`
+	Queued   int64 `json:"queued"`
+	ShedFull int64 `json:"shed_queue_full"`
+	ShedWait int64 `json:"shed_queue_timeout"`
+	BadQuery int64 `json:"bad_query"`
+	Canceled int64 `json:"canceled"`
+	Rows     int64 `json:"rows_streamed"`
+	Bytes    int64 `json:"bytes_written"`
+	InFlight int64 `json:"in_flight"`
+}
+
+// Snapshot reads the counters atomically (each field individually).
+func (c *ServeCounters) Snapshot() ServeSnapshot {
+	return ServeSnapshot{
+		Requests: c.Requests.Load(),
+		Admitted: c.Admitted.Load(),
+		Queued:   c.Queued.Load(),
+		ShedFull: c.ShedFull.Load(),
+		ShedWait: c.ShedWait.Load(),
+		BadQuery: c.BadQuery.Load(),
+		Canceled: c.Canceled.Load(),
+		Rows:     c.Rows.Load(),
+		Bytes:    c.Bytes.Load(),
+		InFlight: c.InFlight.Load(),
+	}
+}
+
+func (s ServeSnapshot) String() string {
+	return fmt.Sprintf("requests=%d admitted=%d queued=%d shed_full=%d shed_wait=%d bad=%d canceled=%d rows=%d bytes=%d in_flight=%d",
+		s.Requests, s.Admitted, s.Queued, s.ShedFull, s.ShedWait, s.BadQuery,
+		s.Canceled, s.Rows, s.Bytes, s.InFlight)
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rdfviews/internal/server"
+)
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+	// 90 fast samples, 10 slow ones: p50 stays in the fast bucket, p99 lands
+	// in the slow one. Quantiles are bucket upper bounds, so compare ranges.
+	for i := 0; i < 90; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(400 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 < 1*time.Millisecond || p50 > 4*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~1-2ms bucket", p50)
+	}
+	if p99 < 400*time.Millisecond || p99 > 1600*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~512ms bucket", p99)
+	}
+	if p99 <= p50 {
+		t.Fatalf("p99 (%v) <= p50 (%v)", p99, p50)
+	}
+}
+
+// fixedServiceBackend answers every query with one row after a fixed service
+// time — a deterministic "server capacity" for load-generator tests.
+func fixedServiceBackend(service time.Duration) server.Backend {
+	return server.BackendFunc(func(ctx context.Context, q string) (server.Stream, error) {
+		select {
+		case <-time.After(service):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return fixedStream{}, nil
+	})
+}
+
+type fixedStream struct{}
+
+func (fixedStream) Columns() []string         { return []string{"x"} }
+func (fixedStream) Next() ([][]string, error) { return nil, nil }
+func (fixedStream) Close()                    {}
+
+func newLoadServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+func TestRunLoadClosedLoop(t *testing.T) {
+	_, hs := newLoadServer(t, server.Config{Backend: fixedServiceBackend(time.Millisecond)})
+	res := RunLoad(LoadConfig{
+		URL:         hs.URL,
+		Queries:     []string{"q1", "q2"},
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+	})
+	if res.OK == 0 || res.Sent != res.OK+res.Shed+res.Errors {
+		t.Fatalf("inconsistent ledger: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.Latency.Count() != res.OK {
+		t.Fatalf("latency samples %d != OK %d", res.Latency.Count(), res.OK)
+	}
+}
+
+func TestRunLoadOpenLoop(t *testing.T) {
+	_, hs := newLoadServer(t, server.Config{Backend: fixedServiceBackend(time.Millisecond)})
+	res := RunLoad(LoadConfig{
+		URL:      hs.URL,
+		Queries:  []string{"q"},
+		Duration: 300 * time.Millisecond,
+		Rate:     200,
+	})
+	// 200/s for 300ms: around 60 requests, generously bounded for CI noise.
+	if res.Sent < 20 || res.Sent > 120 {
+		t.Fatalf("open loop sent %d requests, want ~60", res.Sent)
+	}
+	if res.OK == 0 {
+		t.Fatalf("no successes: %+v", res)
+	}
+}
+
+// TestRunLoadOverloadLatency is the acceptance test for admission control
+// under overload: a closed loop at ~2x server capacity must keep *admitted*
+// p50 close to the uncontended p50 — excess demand sheds at the door (429/503)
+// instead of queueing behind execution. The bound is 3x to leave CI headroom;
+// without admission control the queue-behind-execution p50 would be ~10x.
+func TestRunLoadOverloadLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive load test in -short mode")
+	}
+	const service = 5 * time.Millisecond
+	const slots = 4
+	_, hs := newLoadServer(t, server.Config{
+		Backend:      fixedServiceBackend(service),
+		MaxInFlight:  slots,
+		MaxQueue:     1,
+		QueueTimeout: time.Millisecond,
+	})
+
+	// Baseline: closed loop at exactly capacity — no contention.
+	base := RunLoad(LoadConfig{
+		URL: hs.URL, Queries: []string{"q"},
+		Concurrency: slots, Duration: 700 * time.Millisecond,
+	})
+	if base.OK == 0 {
+		t.Fatalf("baseline run got no successes: %+v", base)
+	}
+	baseP50 := base.Latency.Quantile(0.5)
+
+	// Overload: 2x capacity.
+	over := RunLoad(LoadConfig{
+		URL: hs.URL, Queries: []string{"q"},
+		Concurrency: 2 * slots, Duration: 700 * time.Millisecond,
+	})
+	if over.OK == 0 {
+		t.Fatalf("overload run got no successes: %+v", over)
+	}
+	if over.Shed == 0 {
+		t.Fatalf("2x capacity shed nothing — admission control inactive: %+v", over)
+	}
+	overP50 := over.Latency.Quantile(0.5)
+	if overP50 > 3*baseP50 {
+		t.Fatalf("admitted p50 under 2x load = %v, baseline = %v: admission control failed to bound latency",
+			overP50, baseP50)
+	}
+	t.Logf("baseline p50=%v throughput=%.0f/s; 2x-load p50=%v shed=%d/%d",
+		baseP50, base.Throughput(), overP50, over.Shed, over.Sent)
+}

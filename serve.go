@@ -80,6 +80,10 @@ type liftInfo struct {
 	binding []dict.ID
 	occRank []int               // occurrence index (lift order) -> rank
 	repr    map[dict.ID]dict.ID // sentinel -> this query's concrete value
+	// headNames labels the result columns with the source query's own head
+	// names (SPARQL variable names, Datalog head tokens) for wire protocols;
+	// display metadata only, never part of the cache key.
+	headNames []string
 }
 
 // liftForCache lifts q's parameterizable constants and derives the cache key:
@@ -145,11 +149,12 @@ func liftForCache(q *cq.Query, typeID dict.ID, tag string) (*liftInfo, error) {
 // values (the prepared-query rebind).
 func (li *liftInfo) withBinding(binding []dict.ID) *liftInfo {
 	out := &liftInfo{
-		key:      li.key,
-		skeleton: li.skeleton,
-		occRank:  li.occRank,
-		binding:  binding,
-		repr:     make(map[dict.ID]dict.ID, len(binding)),
+		key:       li.key,
+		skeleton:  li.skeleton,
+		occRank:   li.occRank,
+		binding:   binding,
+		repr:      make(map[dict.ID]dict.ID, len(binding)),
+		headNames: li.headNames,
 	}
 	for r, v := range binding {
 		out.repr[sentinelBase+dict.ID(r)] = v
@@ -363,18 +368,38 @@ type Prepared struct {
 
 // parseServeQuery parses ad-hoc query text in either supported syntax:
 // SPARQL when it starts with SELECT or PREFIX (case-insensitive), the
-// paper's Datalog-like notation otherwise.
-func parseServeQuery(d *dict.Dictionary, text string) (*cq.Query, error) {
+// paper's Datalog-like notation otherwise. Alongside the query it returns
+// the source-level head column names (the SPARQL ?var names or the Datalog
+// head tokens; positions without a name — head constants — fall back to
+// c1..cN), which streaming answers carry to the wire protocol.
+func parseServeQuery(d *dict.Dictionary, text string) (*cq.Query, []string, error) {
 	t := strings.TrimSpace(text)
 	if t == "" {
-		return nil, fmt.Errorf("rdfviews: empty query")
+		return nil, nil, fmt.Errorf("rdfviews: empty query")
 	}
 	p := cq.NewParser(d)
 	u := strings.ToUpper(t)
+	var (
+		q   *cq.Query
+		err error
+	)
 	if strings.HasPrefix(u, "SELECT") || strings.HasPrefix(u, "PREFIX") {
-		return p.ParseSPARQL(t)
+		q, err = p.ParseSPARQL(t)
+	} else {
+		q, err = p.ParseQuery(t)
 	}
-	return p.ParseQuery(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, len(q.Head))
+	for i, h := range q.Head {
+		if n := p.NameOf(h); n != "" {
+			names[i] = n
+		} else {
+			names[i] = "c" + strconv.Itoa(i+1)
+		}
+	}
+	return q, names, nil
 }
 
 // AnswerQuery answers one ad-hoc query (SPARQL or Datalog-like text) over
@@ -428,11 +453,16 @@ func (lv *LiveViews) liftedFor(text string) (*liftInfo, error) {
 }
 
 func (lv *LiveViews) parseAndLift(text string) (*liftInfo, error) {
-	q, err := parseServeQuery(lv.m.Store().Dict(), text)
+	q, names, err := parseServeQuery(lv.m.Store().Dict(), text)
 	if err != nil {
 		return nil, err
 	}
-	return liftForCache(q, lv.rec.schema.TypeID, "lv:"+string(lv.rec.mode))
+	li, err := liftForCache(q, lv.rec.schema.TypeID, "lv:"+string(lv.rec.mode))
+	if err != nil {
+		return nil, err
+	}
+	li.headNames = names
+	return li, nil
 }
 
 // NumParams returns the number of lifted parameters (bindable positions).

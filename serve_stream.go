@@ -1,0 +1,199 @@
+package rdfviews
+
+// Streaming serving surface: the counterpart of AnswerQuery/Answer that hands
+// the result out slab by slab instead of materializing it. This is what the
+// HTTP front end (internal/server) drains — the response writer encodes one
+// slab, blocks on the client's socket, then pulls the next, so a slow reader
+// holds O(batch) engine state rather than O(result), and the caller's
+// context.Context cancels the running pipeline at its next checkpoint
+// (client disconnects and deadlines propagate into the engine).
+//
+// Routing, caching and freshness are byte-identical to the materializing
+// path: the same statement cache, plan cache, view-route match and
+// StaleReadPolicy flush barrier, and the same decode rules as decodeRows.
+
+import (
+	"context"
+	"fmt"
+
+	"rdfviews/internal/dict"
+	"rdfviews/internal/engine"
+	"rdfviews/internal/rdf"
+	"rdfviews/internal/store"
+)
+
+// maxStreamMemo caps the per-stream decode memo. decodeRows memoizes every
+// distinct ID of a materialized result; a stream must stay O(batch), so past
+// the cap repeated IDs simply decode again.
+const maxStreamMemo = 4096
+
+// AnswerStream is a streaming query answer: decoded row slabs pulled on
+// demand. A slab (and its rows) is valid only until the next call to Next.
+// Close releases the underlying pipeline and is required on every stream,
+// drained or not.
+type AnswerStream struct {
+	cols []string
+	rs   *engine.RowStream
+	d    *dict.Dictionary
+	memo map[dict.ID]string
+	out  [][]string
+	flat []string
+}
+
+func newAnswerStream(rs *engine.RowStream, cols []string, d *dict.Dictionary) *AnswerStream {
+	w := len(rs.Cols())
+	if len(cols) != w {
+		// Defensive: column names must line up with the pipeline's head; fall
+		// back to positional names rather than mislabel.
+		cols = make([]string, w)
+		for i := range cols {
+			cols[i] = "c" + fmt.Sprint(i+1)
+		}
+	}
+	return &AnswerStream{cols: cols, rs: rs, d: d, memo: make(map[dict.ID]string, 64)}
+}
+
+// Columns returns the result column names, in the source query's head order:
+// SPARQL variable names (without the '?'), Datalog head tokens.
+func (s *AnswerStream) Columns() []string { return s.cols }
+
+// Next returns the next slab of decoded rows, nil at end of stream, or the
+// error that terminated the stream — a canceled or expired context surfaces
+// here as ctx.Err(). After EOF or an error every further call returns the
+// same. The slab is reused: rows are valid only until the next call.
+func (s *AnswerStream) Next() ([][]string, error) {
+	rows, err := s.rs.Next()
+	if err != nil || rows == nil {
+		return nil, err
+	}
+	w := len(s.cols)
+	if need := len(rows) * w; cap(s.flat) < need {
+		s.flat = make([]string, need)
+	}
+	s.out = s.out[:0]
+	for ri, row := range rows {
+		r := s.flat[ri*w : (ri+1)*w : (ri+1)*w]
+		for i, id := range row {
+			r[i] = s.decode(id)
+		}
+		s.out = append(s.out, r)
+	}
+	return s.out, nil
+}
+
+// Close releases the stream's pipeline; idempotent, safe after EOF.
+func (s *AnswerStream) Close() { s.rs.Close() }
+
+// decode renders one dictionary ID exactly like Database.decodeRows: IRIs
+// shortened, literal values raw, undecodable IDs as ?id. The memo is bounded
+// (maxStreamMemo) so an adversarially wide result cannot grow it past O(1).
+func (s *AnswerStream) decode(id dict.ID) string {
+	if v, ok := s.memo[id]; ok {
+		return v
+	}
+	t, err := s.d.Decode(id)
+	var v string
+	switch {
+	case err != nil:
+		v = fmt.Sprintf("?%d", id)
+	case t.Kind == rdf.IRI:
+		v = rdf.ShortenIRI(t.Value)
+	default:
+		v = t.Value
+	}
+	if len(s.memo) < maxStreamMemo {
+		s.memo[id] = v
+	}
+	return v
+}
+
+// execStream is storeTemplate.exec's streaming counterpart: the single-member
+// fast path streams the instantiated plan directly; multi-member unions
+// deduplicate across member streams exactly like the materializing union.
+func (t *storeTemplate) execStream(reader store.Reader, bkey string, repr map[dict.ID]dict.ID, opts engine.ExecOptions) (*engine.RowStream, error) {
+	ms := t.boundMembers(bkey, repr)
+	if len(ms) == 1 {
+		return ms[0].Instantiate(reader, nil).EvalStream(opts), nil
+	}
+	streams := make([]*engine.RowStream, len(ms))
+	for i, p := range ms {
+		streams[i] = p.Instantiate(reader, nil).EvalStream(opts)
+	}
+	return engine.UnionStreams(streams, 64)
+}
+
+// AnswerQueryStream answers one ad-hoc query (SPARQL or Datalog-like text)
+// over the maintained deployment as a stream: the routing, caching and
+// freshness semantics of AnswerQuery, but the result is pulled slab by slab
+// and ctx cancels the running pipeline (the serving tier's deadline and
+// disconnect propagation). The caller must Close the stream.
+func (lv *LiveViews) AnswerQueryStream(ctx context.Context, text string) (*AnswerStream, error) {
+	li, err := lv.liftedFor(text)
+	if err != nil {
+		return nil, err
+	}
+	a, err := lv.artifactFor(li)
+	if err != nil {
+		return nil, err
+	}
+	r, tmpl, err := lv.routeFor(a, li)
+	if err != nil {
+		return nil, err
+	}
+	var rs *engine.RowStream
+	if r.matched {
+		if lv.stale == WaitFresh {
+			if err := lv.m.Flush(); err != nil {
+				return nil, err
+			}
+		}
+		rs, err = engine.ExecuteStream(lv.rec.state.Plans[r.idx], lv.m.Resolver(),
+			engine.ExecOptions{DOP: lv.dop, Ctx: ctx})
+		if err != nil {
+			return nil, err
+		}
+		if !sameCols(rs.Cols(), r.cols) {
+			proj, err := engine.ProjectStream(rs, r.cols)
+			if err != nil {
+				rs.Close()
+				return nil, err
+			}
+			rs = proj
+		}
+	} else {
+		// Store path: the base store is updated synchronously even under
+		// asynchronous maintenance, so a snapshot needs no flush barrier.
+		rs, err = tmpl.execStream(lv.m.Store().Snapshot(), bindingKey(li.binding), li.repr,
+			engine.ExecOptions{Ctx: ctx})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return newAnswerStream(rs, li.headNames, lv.m.Store().Dict()), nil
+}
+
+// AnswerQueryStream answers ad-hoc query text directly on the database as a
+// stream, under the reasoning mode — the streaming counterpart of Answer for
+// text queries, sharing its plan cache. The caller must Close the stream.
+func (db *Database) AnswerQueryStream(ctx context.Context, text string, mode Reasoning) (*AnswerStream, error) {
+	q, names, err := parseServeQuery(db.st.Dict(), text)
+	if err != nil {
+		return nil, err
+	}
+	a, li, reader, err := db.serveArtifactFor(q, mode)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := a.tmpl.execStream(reader, bindingKey(li.binding), li.repr,
+		engine.ExecOptions{Ctx: ctx})
+	if err != nil {
+		return nil, err
+	}
+	return newAnswerStream(rs, names, db.st.Dict()), nil
+}
+
+// PublishGen returns the maintainer's monotone publish generation — it
+// advances exactly when a new extent generation is published. Serving-tier
+// monitors (and the HTTP stress tests) use it to observe maintenance
+// progress without touching extents.
+func (lv *LiveViews) PublishGen() uint64 { return lv.m.PublishGen() }
