@@ -78,6 +78,7 @@ type scanOp struct {
 	st      store.Reader
 	spec    *atomSpec
 	width   int
+	intr    *interrupt
 	started bool
 	cur     store.Cursor
 	out     Row
@@ -90,6 +91,9 @@ func (s *scanOp) next() (Row, bool) {
 		s.out = make(Row, s.width)
 	}
 	for {
+		if s.intr.stop() {
+			return nil, false
+		}
 		t, ok := s.cur.Next()
 		if !ok {
 			return nil, false
@@ -120,6 +124,7 @@ type mergeJoinOp struct {
 	extraSlots []int // residual shared variables: register slots ...
 	extraPos   []int // ... and the matching triple positions
 	width      int
+	intr       *interrupt
 
 	started  bool
 	cur      store.Cursor
@@ -171,12 +176,19 @@ func (m *mergeJoinOp) next() (Row, bool) {
 		key := lrow[m.slot]
 		if !m.haveGrp || key != m.groupKey {
 			// Left keys are non-decreasing, so the right cursor only ever
-			// moves forward.
+			// moves forward. Both cursor advances are unbounded in the atom's
+			// extent, so each polls the interrupt.
 			for m.curOK && m.curT[m.rpos] < key {
+				if m.intr.stop() {
+					return nil, false
+				}
 				m.curT, m.curOK = m.cur.Next()
 			}
 			m.group = m.group[:0]
 			for m.curOK && m.curT[m.rpos] == key {
+				if m.intr.stop() {
+					return nil, false
+				}
 				m.group = append(m.group, m.curT)
 				m.curT, m.curOK = m.cur.Next()
 			}
@@ -207,6 +219,7 @@ type hashJoinOp struct {
 	keySlots []int // probe: register slots of the shared variables
 	keyPos   []int // build: triple positions of the shared variables
 	width    int
+	intr     *interrupt
 
 	built    bool
 	table    *idTable       // key hash -> chain head, as triple index + 1
@@ -238,6 +251,11 @@ func (j *hashJoinOp) build() {
 	j.tris = make([]store.Triple, 0, n)
 	j.chains = make([]int32, 0, n)
 	for {
+		if j.intr.stop() {
+			// Partial build is fine: the drain above polls the same interrupt
+			// and surfaces ctx.Err() before any row escapes.
+			break
+		}
 		t, ok := cur.Next()
 		if !ok {
 			break
@@ -274,6 +292,7 @@ type hashJoinBuildLeftOp struct {
 	keySlots []int // build: register slots of the shared variables
 	keyPos   []int // probe: triple positions of the shared variables
 	width    int
+	intr     *interrupt
 
 	built    bool
 	table    *idTable // key hash -> chain head, as build row index + 1
@@ -315,6 +334,9 @@ func (j *hashJoinBuildLeftOp) next() (Row, bool) {
 		j.cur = j.st.NewCursor(j.spec.perm, j.spec.pat)
 	}
 	for {
+		if j.intr.stop() {
+			return nil, false
+		}
 		if j.emitting {
 			for j.chain != 0 {
 				r := j.brows[j.chain-1]

@@ -73,9 +73,10 @@ func (p *slabPool) put(s rowSlab) {
 }
 
 // scanShard streams one shard's matching triples as slabs of bound register
-// rows. It returns early when done closes. Slabs are drawn from pool when it
-// is non-nil; the consumer recycles each slab once drained.
-func scanShard(st store.Reader, shard int, spec *atomSpec, width int, pool *slabPool, out chan<- rowSlab, done <-chan struct{}) {
+// rows. It returns early when done closes or the execution's interrupt
+// fires. Slabs are drawn from pool when it is non-nil; the consumer recycles
+// each slab once drained.
+func scanShard(st store.Reader, shard int, spec *atomSpec, width int, pool *slabPool, out chan<- rowSlab, done <-chan struct{}, intr *interrupt) {
 	cur := st.ShardCursor(shard, spec.perm, spec.pat)
 	var slab rowSlab
 	flush := func() bool {
@@ -91,6 +92,9 @@ func scanShard(st store.Reader, shard int, spec *atomSpec, width int, pool *slab
 		}
 	}
 	for {
+		if intr.stop() {
+			return
+		}
 		t, ok := cur.Next()
 		if !ok {
 			break
@@ -129,6 +133,7 @@ type exchangeOp struct {
 	spec  *atomSpec
 	width int
 	dop   int
+	intr  *interrupt
 
 	started bool
 	closed  bool
@@ -147,7 +152,7 @@ func (e *exchangeOp) start() {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
-			scanShard(e.st, shard, e.spec, e.width, &e.pool, e.ch, e.done)
+			scanShard(e.st, shard, e.spec, e.width, &e.pool, e.ch, e.done, e.intr)
 		}(s)
 	}
 	go func() {
@@ -160,6 +165,12 @@ func (e *exchangeOp) start() {
 func (e *exchangeOp) next() (Row, bool) {
 	if !e.started {
 		e.start()
+	}
+	// Consumer-side checkpoint: the workers poll the same interrupt, but may
+	// already have exited with their whole output buffered in the channel; the
+	// fan-in must not keep delivering those rows after a cancel.
+	if e.intr.stop() {
+		return nil, false
 	}
 	for {
 		if e.i < len(e.slab.rows) {
@@ -197,6 +208,7 @@ type gatherMergeOp struct {
 	width int
 	dop   int
 	slot  int // register slot the streams are merged on
+	intr  *interrupt
 
 	started bool
 	closed  bool
@@ -242,7 +254,7 @@ func (g *gatherMergeOp) start() {
 			defer close(out)
 			// nil pool: the merge consumer may still expose the previous
 			// slab's tail row when a stream refills, so slabs are not reused.
-			scanShard(g.st, shard, g.spec, g.width, nil, out, g.done)
+			scanShard(g.st, shard, g.spec, g.width, nil, out, g.done, g.intr)
 		}(s, ch)
 	}
 	g.started = true
@@ -251,6 +263,12 @@ func (g *gatherMergeOp) start() {
 func (g *gatherMergeOp) next() (Row, bool) {
 	if !g.started {
 		g.start()
+	}
+	// Consumer-side checkpoint: with few rows per shard the workers finish
+	// (and exit) before a cancel lands, so the merge itself must poll or the
+	// buffered streams would drain to completion.
+	if g.intr.stop() {
+		return nil, false
 	}
 	// Only live streams are consulted: a stream that reports EOF is
 	// swap-removed from the live set, so a wide fan-out whose shards drain at

@@ -64,6 +64,7 @@ func (c storeCards) AtomCount(a cq.Atom) float64 {
 		perm, _ := store.PermFor(bound, -1)
 		cur := c.st.NewCursor(perm, pat)
 		m := 0
+		//lint:ignore cancelcheck bounded: plan-time count capped at repeatedVarScanLimit rows
 		for {
 			t, ok := cur.Next()
 			if !ok {
@@ -568,8 +569,11 @@ func orderAtoms(q *cq.Query, cards Cards) ([]int, []float64) {
 }
 
 // buildOps instantiates the operator pipeline. Operators are single-use:
-// each Eval call builds a fresh pipeline.
-func (p *QueryPlan) buildOps() op {
+// each Eval call builds a fresh pipeline. The execution's interrupt is
+// threaded to every operator that loops over a cursor without returning
+// control, so a canceled context stops the scan and build drains, not just
+// the result drain above.
+func (p *QueryPlan) buildOps(intr *interrupt) op {
 	var cur op
 	for i := range p.steps {
 		s := &p.steps[i]
@@ -577,26 +581,26 @@ func (p *QueryPlan) buildOps() op {
 		case stepScan:
 			switch {
 			case s.par > 1 && s.parSlot >= 0:
-				cur = &gatherMergeOp{st: p.st, spec: s.spec, width: p.width, dop: s.par, slot: s.parSlot}
+				cur = &gatherMergeOp{st: p.st, spec: s.spec, width: p.width, dop: s.par, slot: s.parSlot, intr: intr}
 			case s.par > 1:
-				cur = &exchangeOp{st: p.st, spec: s.spec, width: p.width, dop: s.par}
+				cur = &exchangeOp{st: p.st, spec: s.spec, width: p.width, dop: s.par, intr: intr}
 			default:
-				cur = &scanOp{st: p.st, spec: s.spec, width: p.width}
+				cur = &scanOp{st: p.st, spec: s.spec, width: p.width, intr: intr}
 			}
 		case stepSort:
 			cur = &sortOp{in: cur, slot: s.joinSlot, width: p.width}
 		case stepMergeJoin:
 			cur = &mergeJoinOp{left: cur, st: p.st, spec: s.spec, slot: s.joinSlot, rpos: s.rpos,
-				extraSlots: s.extraSlots, extraPos: s.extraPos, width: p.width}
+				extraSlots: s.extraSlots, extraPos: s.extraPos, width: p.width, intr: intr}
 		case stepHashJoin:
 			if s.buildLeft {
 				cur = &hashJoinBuildLeftOp{left: cur, st: p.st, spec: s.spec,
-					keySlots: s.keySlots, keyPos: s.keyPos, width: p.width}
+					keySlots: s.keySlots, keyPos: s.keyPos, width: p.width, intr: intr}
 				break
 			}
-			cur = &hashJoinOp{left: cur, st: p.st, spec: s.spec, keySlots: s.keySlots, keyPos: s.keyPos, width: p.width}
+			cur = &hashJoinOp{left: cur, st: p.st, spec: s.spec, keySlots: s.keySlots, keyPos: s.keyPos, width: p.width, intr: intr}
 		default: // stepCross (a hash join with no key columns)
-			cur = &hashJoinOp{left: cur, st: p.st, spec: s.spec, keySlots: s.keySlots, keyPos: s.keyPos, width: p.width}
+			cur = &hashJoinOp{left: cur, st: p.st, spec: s.spec, keySlots: s.keySlots, keyPos: s.keyPos, width: p.width, intr: intr}
 		}
 	}
 	return cur
@@ -652,7 +656,7 @@ func (p *QueryPlan) EvalWithOptions(opts ExecOptions) (*Relation, error) {
 // evalRows drains the row-protocol pipeline — the differential oracle for the
 // vectorized default.
 func (p *QueryPlan) evalRows(opts ExecOptions) (*Relation, error) {
-	root := p.buildOps()
+	root := p.buildOps(opts.intr)
 	defer closeOp(root) // release parallel-scan workers on every exit path
 	out := NewRelation(p.head)
 	scratch := make(Row, len(p.head))

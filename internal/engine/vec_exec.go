@@ -152,7 +152,7 @@ func compileVecRel(p algebra.Plan, resolve ViewResolver, opts ExecOptions) (vrop
 		buildLeft := enableRewriteBuildSide && cost.HashJoinBuildLeft(lest, rest)
 		est := joinOutEst(lest, rest, len(shape.keys))
 		if opts.DOP > 1 && lest+rest >= parallelRewriteMinRows {
-			return newVecParallelHashJoin(left, right, shape, lIdx, rIdx, buildLeft, opts.DOP), est, nil
+			return newVecParallelHashJoin(left, right, shape, lIdx, rIdx, buildLeft, opts.DOP, opts.intr), est, nil
 		}
 		return &vecHashJoinRelOp{left: left, right: right, shape: shape, lIdx: lIdx, rIdx: rIdx,
 			buildLeft: buildLeft, leftWidth: len(left.cols()), intr: opts.intr}, est, nil

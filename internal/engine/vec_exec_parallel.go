@@ -267,6 +267,7 @@ type vecParallelHashJoinRelOp struct {
 	buildLeft   bool
 	dop         int
 	leftWidth   int
+	intr        *interrupt
 
 	started bool
 	closed  bool
@@ -277,9 +278,9 @@ type vecParallelHashJoinRelOp struct {
 	cur     *batch // the batch currently on loan to the consumer
 }
 
-func newVecParallelHashJoin(left, right vrop, shape joinShapeInfo, lIdx, rIdx []int, buildLeft bool, dop int) *vecParallelHashJoinRelOp {
+func newVecParallelHashJoin(left, right vrop, shape joinShapeInfo, lIdx, rIdx []int, buildLeft bool, dop int, intr *interrupt) *vecParallelHashJoinRelOp {
 	return &vecParallelHashJoinRelOp{left: left, right: right, shape: shape, lIdx: lIdx, rIdx: rIdx,
-		buildLeft: buildLeft, dop: dop, leftWidth: len(left.cols())}
+		buildLeft: buildLeft, dop: dop, leftWidth: len(left.cols()), intr: intr}
 }
 
 func (j *vecParallelHashJoinRelOp) cols() []cq.Term { return j.shape.outCols }
@@ -364,10 +365,15 @@ func (j *vecParallelHashJoinRelOp) buildPartitions(build vrop, bIdx []int) {
 	if s, ok := build.(*vecRelScanOp); ok && len(s.eq) == 0 && s.i == 0 {
 		// Scatter straight from the extent: the scan only relabels columns,
 		// so its rows hash and partition as-is — no batch transpose, no
-		// arena copies.
+		// arena copies. The loop walks the whole extent without pulling
+		// batches, so it polls the interrupt itself, once per batch-worth of
+		// rows (the serial zero-copy build does the same).
 		rows := s.rows
 		s.i = len(rows)
-		for _, row := range rows {
+		for r, row := range rows {
+			if r&(BatchSize-1) == 0 && j.intr.stop() {
+				break
+			}
 			h := hashValues(row, bIdx)
 			p := &j.parts[h%uint64(j.dop)]
 			p.rows = append(p.rows, row)

@@ -90,6 +90,11 @@ func (e *vecExchangeOp) nextBatch() (*batch, bool) {
 	if !e.started {
 		e.start()
 	}
+	// Consumer-side checkpoint: workers may have exited with their whole
+	// output buffered in the channel; close() recycles those batches.
+	if e.intr.stop() {
+		return nil, false
+	}
 	if e.cur != nil {
 		e.pool.put(e.cur)
 		e.cur = nil
@@ -192,6 +197,12 @@ func (g *vecGatherMergeOp) start() {
 func (g *vecGatherMergeOp) nextBatch() (*batch, bool) {
 	if !g.started {
 		g.start()
+	}
+	// Consumer-side checkpoint: a small scan fits each shard's output in the
+	// channel buffers, so the workers' own polls can all predate the cancel;
+	// the merge must stop delivering what they left behind.
+	if g.intr.stop() {
+		return nil, false
 	}
 	out := g.out
 	out.reset()
