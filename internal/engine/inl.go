@@ -13,8 +13,10 @@ import (
 //
 // It is superseded by the planned streaming pipeline (planner.go,
 // operators.go) but kept as a correctness oracle for property tests and as
-// the baseline of the old-vs-new benchmarks in bench_test.go.
-func evalQueryINL(st *store.Store, q *cq.Query) (*Relation, error) {
+// the baseline of the old-vs-new benchmarks in bench_test.go. Like the
+// planned paths it reads through store.Reader, so the oracle can replay
+// against a pinned snapshot as well as a quiesced live store.
+func evalQueryINL(st store.Reader, q *cq.Query) (*Relation, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}

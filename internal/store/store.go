@@ -163,6 +163,9 @@ type Reader interface {
 	NewCursor(p Perm, pat Pattern) Cursor
 	// ShardCursor opens a cursor over one shard only (see Store.ShardCursor).
 	ShardCursor(i int, p Perm, pat Pattern) Cursor
+	// Scan visits every triple matching the pattern in index order until fn
+	// returns false (see Store.Scan).
+	Scan(pat Pattern, fn func(Triple) bool)
 }
 
 // Store is the sharded triple table plus its dictionary. Create with New (one
