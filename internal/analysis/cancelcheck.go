@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Cancelcheck enforces the engine's cooperative-cancellation invariant
+// (internal/engine/cancel.go): any loop that pulls a store cursor — the
+// unbounded leaf drains of both execution tiers — must poll the execution's
+// interrupt token on each iteration. Without the checkpoint a canceled
+// context (an HTTP client disconnect, a deadline) cannot stop the scan, and
+// the query runs to completion while the serving tier believes it stopped.
+//
+// A loop "pulls a cursor" when its body (function literals excluded) calls
+// Next or NextBatch on a value of type store.Cursor. It is checkpointed when
+// the body of the loop — or of a loop nested inside it, which runs at least
+// once per outer iteration on the pulling paths the engine uses — calls
+// stop() on an *interrupt. Loops over engine-local buffered cursors
+// (triCursor) are not flagged: their iteration is bounded by one key group,
+// and the checkpoint lives in the scan below them.
+var Cancelcheck = &Analyzer{
+	Name: "cancelcheck",
+	Doc: "store.Cursor pull loops in the engine must call interrupt.stop() " +
+		"each iteration so canceled executions actually stop scanning",
+	Run: runCancelcheck,
+}
+
+func runCancelcheck(pass *Pass) error {
+	if pass.Pkg.Name() != "engine" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		funcBodies(f, func(_ string, fd *ast.FuncDecl) {
+			checkCancelBody(pass, fd.Body)
+		})
+	}
+	return nil
+}
+
+// loopState tracks one enclosing for-loop during the walk.
+type loopState struct {
+	pulls        bool
+	checkpointed bool
+}
+
+// checkCancelBody walks one function body. Function literals start a fresh
+// walk: a loop inside a closure is its own scope, and a pull inside a
+// closure does not belong to the loop that merely defines the closure.
+func checkCancelBody(pass *Pass, body *ast.BlockStmt) {
+	var stack []*loopState
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkCancelBody(pass, n.Body)
+			return false
+		case *ast.ForStmt:
+			st := &loopState{}
+			stack = append(stack, st)
+			if n.Init != nil {
+				ast.Inspect(n.Init, walk)
+			}
+			if n.Cond != nil {
+				ast.Inspect(n.Cond, walk)
+			}
+			if n.Post != nil {
+				ast.Inspect(n.Post, walk)
+			}
+			ast.Inspect(n.Body, walk)
+			stack = stack[:len(stack)-1]
+			if st.pulls && !st.checkpointed {
+				pass.Reportf(n.For, "loop pulls a store.Cursor without an "+
+					"interrupt.stop() checkpoint; thread the execution's *interrupt "+
+					"here (internal/engine/cancel.go)")
+			}
+			return false
+		case *ast.CallExpr:
+			if recv, ok := methodCall(n, "stop"); ok && isNamed(pass.TypesInfo.Types[recv].Type, "", "interrupt") {
+				for _, st := range stack {
+					st.checkpointed = true
+				}
+			}
+			if len(stack) > 0 {
+				if recv, ok := methodCall(n, "Next"); ok && isNamed(pass.TypesInfo.Types[recv].Type, "store", "Cursor") {
+					stack[len(stack)-1].pulls = true
+				}
+				if recv, ok := methodCall(n, "NextBatch"); ok && isNamed(pass.TypesInfo.Types[recv].Type, "store", "Cursor") {
+					stack[len(stack)-1].pulls = true
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}

@@ -1,0 +1,73 @@
+// Package engine (fixture): cursor pull loops with no cancellation
+// checkpoint — the bug class cancelcheck exists to catch.
+package engine
+
+import "lintfixtures/store"
+
+type interrupt struct{ fired bool }
+
+func (it *interrupt) stop() bool { return it != nil && it.fired }
+
+type scanOp struct {
+	cur  store.Cursor
+	intr *interrupt
+}
+
+// drainAll pulls to exhaustion; a canceled execution keeps scanning.
+func (s *scanOp) drainAll() int {
+	n := 0
+	for { // want `loop pulls a store\.Cursor without an interrupt\.stop\(\) checkpoint`
+		_, ok := s.cur.Next()
+		if !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// drainBatches has the same hole on the batch-pull path.
+func (s *scanOp) drainBatches(buf [][3]uint64) int {
+	n := 0
+	for { // want `loop pulls a store\.Cursor without an interrupt\.stop\(\) checkpoint`
+		got := s.cur.NextBatch(buf)
+		if got == 0 {
+			return n
+		}
+		n += got
+	}
+}
+
+// checkpointOutside polls the interrupt once before the loop, which does not
+// stop an in-flight drain; the checkpoint must run each iteration.
+func (s *scanOp) checkpointOutside() int {
+	n := 0
+	if s.intr.stop() {
+		return 0
+	}
+	for { // want `loop pulls a store\.Cursor without an interrupt\.stop\(\) checkpoint`
+		_, ok := s.cur.Next()
+		if !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// closurePull: the pull sits in a closure launched per call; the loop that
+// calls the closure is still the unbounded drain and still needs the
+// checkpoint inside the closure's own loop.
+func (s *scanOp) closurePull() int {
+	n := 0
+	pull := func() bool {
+		for { // want `loop pulls a store\.Cursor without an interrupt\.stop\(\) checkpoint`
+			_, ok := s.cur.Next()
+			if !ok {
+				return false
+			}
+			n++
+		}
+	}
+	for pull() {
+	}
+	return n
+}

@@ -1,0 +1,71 @@
+// Package engine (fixture): correctly checkpointed pull loops and one
+// justified exception — cancelcheck must stay silent on all of them.
+package engine
+
+import "lintfixtures/store"
+
+type interrupt struct{ fired bool }
+
+func (it *interrupt) stop() bool { return it != nil && it.fired }
+
+type scanOp struct {
+	cur  store.Cursor
+	intr *interrupt
+}
+
+// drain checkpoints every iteration before pulling.
+func (s *scanOp) drain() int {
+	n := 0
+	for {
+		if s.intr.stop() {
+			return n
+		}
+		_, ok := s.cur.Next()
+		if !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// drainNested: the checkpoint lives in the inner pulling loop, which runs on
+// every outer iteration; both loops wind down when it fires.
+func (s *scanOp) drainNested(buf [][3]uint64) int {
+	n := 0
+	for n < 10 {
+		for {
+			if s.intr.stop() {
+				return n
+			}
+			if s.cur.NextBatch(buf) == 0 {
+				return n
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// copyRows loops without touching a cursor at all; nothing to flag.
+func copyRows(dst, src [][3]uint64) int {
+	n := 0
+	for i := range src {
+		dst[i] = src[i]
+		n++
+	}
+	return n
+}
+
+// drainBounded is capped at one batch by construction; the exception is
+// recorded in source where a reviewer can see it.
+func (s *scanOp) drainBounded() int {
+	n := 0
+	//lint:ignore cancelcheck bounded: the cursor yields at most 64 rows by construction
+	for {
+		_, ok := s.cur.Next()
+		if !ok || n == 64 {
+			return n
+		}
+		n++
+	}
+}

@@ -1,0 +1,28 @@
+// Package server (fixture): contexts stored in long-lived structs and
+// detached from callers — the flows ctxflow exists to catch.
+package server
+
+import "context"
+
+// session retains the request context past the request's lifetime; later
+// uses observe another request's cancellation (or none at all).
+type session struct {
+	id  int
+	ctx context.Context // want `context\.Context stored in struct session outlives the request`
+}
+
+func (s *session) run(f func(context.Context) error) error {
+	return f(s.ctx)
+}
+
+// handle already receives the caller's ctx but detaches its callee from it:
+// the callee keeps running after the caller is gone.
+func handle(ctx context.Context, f func(context.Context) error) error {
+	return f(context.Background()) // want `context\.Background\(\) detaches callees from the caller's context`
+}
+
+// poll drops the deadline it was handed.
+func poll(ctx context.Context, tick func(context.Context) bool) {
+	for tick(context.TODO()) { // want `context\.TODO\(\) detaches callees from the caller's context`
+	}
+}

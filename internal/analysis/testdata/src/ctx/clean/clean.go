@@ -1,0 +1,29 @@
+// Package server (fixture): context threaded correctly — through call
+// parameters and per-call option bundles — plus a root context minted where
+// none was handed in.
+package server
+
+import "context"
+
+// ExecOptions is a per-call argument bundle; carrying Ctx here is the
+// documented threading idiom, not storage.
+type ExecOptions struct {
+	DOP int
+	Ctx context.Context
+}
+
+// handle threads the caller's ctx straight through.
+func handle(ctx context.Context, f func(context.Context) error) error {
+	return f(ctx)
+}
+
+// execute forwards the ctx inside the options bundle.
+func execute(ctx context.Context, run func(ExecOptions) error) error {
+	return run(ExecOptions{DOP: 1, Ctx: ctx})
+}
+
+// serve has no inbound context, so minting the process root here is the
+// correct place to do it.
+func serve(run func(context.Context) error) error {
+	return run(context.Background())
+}

@@ -1,0 +1,32 @@
+// Package store mirrors the shapes of rdfviews/internal/store that the
+// analyzers match on: the Cursor pull interface, the live mutable Store, and
+// the pinned Reader. The analyzers identify these nominally (type name plus
+// package name), so the fixtures exercise them without importing the real
+// engine.
+package store
+
+// Cursor is the batch-pull iteration interface.
+type Cursor interface {
+	Next() ([3]uint64, bool)
+	NextBatch(buf [][3]uint64) int
+}
+
+// Store is the live mutable store; execution code must not hold one.
+type Store struct {
+	n int
+}
+
+// Len reports the triple count.
+func (s *Store) Len() int { return s.n }
+
+// Snapshot pins the current state.
+func (s *Store) Snapshot() Reader { return reader{n: s.n} }
+
+// Reader is the pinned read-only view execution code goes through.
+type Reader interface {
+	Len() int
+}
+
+type reader struct{ n int }
+
+func (r reader) Len() int { return r.n }
