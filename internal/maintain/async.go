@@ -101,6 +101,17 @@ type refresher struct {
 	err   error // first refresher error; sticky
 
 	done chan struct{} // closed when the refresher goroutine exits
+
+	// Test hooks, nil in production. holdDrain, when set before the first
+	// delta is enqueued, parks the refresher at the top of each drain round
+	// until the channel is closed — the read is ordered after the queue
+	// receive, so installing it before the first enqueue is race-free.
+	// flushEntered is called by flush() once the caller has committed to a
+	// cohort (joined the pending group or registered its own); it lets a test
+	// hold the drain until every racing flusher has committed, making the
+	// coalescing bound deterministic instead of machine-speed dependent.
+	holdDrain    <-chan struct{}
+	flushEntered func()
 }
 
 func newRefresher(m *Maintainer, cfg Config, snap *store.Snapshot) *refresher {
@@ -164,6 +175,9 @@ func (rf *refresher) flush() error {
 	rf.fmu.Lock()
 	if g := rf.flightPending; g != nil {
 		rf.fmu.Unlock()
+		if rf.flushEntered != nil {
+			rf.flushEntered()
+		}
 		<-g.done
 		return rf.loadErr()
 	}
@@ -171,6 +185,9 @@ func (rf *refresher) flush() error {
 	prev := rf.flightLast
 	rf.flightPending = g
 	rf.fmu.Unlock()
+	if rf.flushEntered != nil {
+		rf.flushEntered()
+	}
 
 	if prev != nil {
 		// An earlier barrier is (or was) in flight; wait it out so every
@@ -243,6 +260,11 @@ func (rf *refresher) run(snapOld *store.Snapshot) {
 		d, ok := <-rf.queue
 		if !ok {
 			return
+		}
+		if rf.holdDrain != nil {
+			// Test hook: park with the round's first delta in hand so enqueued
+			// work stays queued until the test releases the gate.
+			<-rf.holdDrain
 		}
 		batch, flushes := rf.collect(d)
 		if len(batch) > 0 {

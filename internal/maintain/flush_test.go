@@ -3,6 +3,7 @@ package maintain
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"rdfviews/internal/rdf"
@@ -10,9 +11,15 @@ import (
 )
 
 // TestAsyncFlushCoalescesConcurrent pins the cohort-batching contract of
-// flush(): k concurrent flushers share at most two barriers per in-flight
-// window (one draining, one pending that everyone else joins), instead of
-// enqueueing k barriers.
+// flush(): k concurrent flushers share at most two barriers — one pending
+// group that joiners pile onto, and one new leader waiting out the barrier in
+// flight — instead of enqueueing k barriers.
+//
+// The race window is held open deterministically with the refresher test
+// hooks instead of relying on machine speed: holdDrain parks the refresher so
+// no barrier can complete, and flushEntered counts flushers that have
+// committed to a cohort, so the gate is released only once all k are in. With
+// the window pinned the bound is exact (<= 2), not probabilistic.
 func TestAsyncFlushCoalescesConcurrent(t *testing.T) {
 	st, views, _ := setup(t)
 	m, err := NewWithConfig(st, views, Config{QueueDepth: 4096, BatchMax: 8})
@@ -21,12 +28,28 @@ func TestAsyncFlushCoalescesConcurrent(t *testing.T) {
 	}
 	defer m.Close()
 
+	const flushers = 64
+	hold := make(chan struct{})
+	release := sync.OnceFunc(func() { close(hold) })
+	defer release() // keep the deferred Close from hanging on a failure path
+
+	var entered atomic.Int64
+	allIn := make(chan struct{})
+	// Installed before the first enqueue: the refresher reads holdDrain only
+	// after receiving a delta, and the flusher goroutines start after close
+	// of start, so both writes are ordered before any read.
+	m.rf.holdDrain = hold
+	m.rf.flushEntered = func() {
+		if entered.Add(1) == flushers {
+			close(allIn)
+		}
+	}
+
 	enc := func(s, p, o string) store.Triple {
 		d := st.Dict()
 		return store.Triple{d.Encode(rdf.NewIRI(s)), d.Encode(rdf.NewIRI(p)), d.Encode(rdf.NewIRI(o))}
 	}
 
-	const flushers = 64
 	var wg sync.WaitGroup
 	start := make(chan struct{})
 	before := m.rf.barriers.Load()
@@ -40,22 +63,22 @@ func TestAsyncFlushCoalescesConcurrent(t *testing.T) {
 			}
 		}()
 	}
-	// Pile up real work so the refresher is busy while the flushers race:
-	// small batches force many evaluation rounds, and the queue is filled
-	// immediately before the flushers are released so every flush has a long
-	// drain ahead of it.
-	for i := 0; i < 2000; i++ {
+	// Real work for the held refresher to fold once released; small batches
+	// force many evaluation rounds after the gate opens.
+	for i := 0; i < 200; i++ {
 		if _, err := m.Insert(enc(fmt.Sprintf("p%d", i), "hasPainted", fmt.Sprintf("w%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	close(start)
+	<-allIn // every flusher has joined the pending group or leads its own
+	release()
 	wg.Wait()
 
 	barriers := m.rf.barriers.Load() - before
-	if barriers > flushers/2 {
-		t.Fatalf("%d concurrent flushes enqueued %d barriers, want coalescing (<= %d)",
-			flushers, barriers, flushers/2)
+	if barriers > 2 {
+		t.Fatalf("%d concurrent flushes enqueued %d barriers, want cohort coalescing (<= 2)",
+			flushers, barriers)
 	}
 	if barriers == 0 {
 		t.Fatalf("no barrier enqueued at all")
