@@ -50,7 +50,8 @@ func getTris() []store.Triple {
 
 func putTris(t []store.Triple) {
 	if t != nil {
-		trisFree.Put(t) //nolint:staticcheck // one boxing alloc per op close
+		//lint:ignore SA6002 one boxing alloc per op close is cheaper than a wrapper type
+		trisFree.Put(t)
 	}
 }
 
