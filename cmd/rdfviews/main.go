@@ -79,6 +79,7 @@ func main() {
 		maxRows    = flag.Int("maxrows", 10, "max answer rows to print per query")
 		explainPhy = flag.Bool("explain-physical", false, "print the physical plans: view materialization pipelines (scan permutations, merge/sort/hash joins with build sides and row estimates) and rewriting operator trees")
 		shards     = flag.Int("shards", 1, "hash-partition the triple store across N shards (by subject); >1 parallelizes large scans across cores")
+		objShards  = flag.Int("object-shards", 0, "additionally replicate the store across N object-hash shards: placement routing then serves object-bound patterns from one shard instead of fanning out (0 = subject partitioning only)")
 		execDOP    = flag.Int("exec-dop", 1, "degree of parallelism for rewriting execution over view extents: >1 runs large hash joins with partitioned parallel builds and fanned probe streams, and evaluates union branches concurrently")
 		updates    = flag.String("updates", "", "stream triple updates through the maintained views: one triple per line inserts, a '- ' prefix deletes")
 		asyncQueue = flag.Int("async-maintain", 0, "maintain views asynchronously behind a change queue of this depth (0 = synchronous maintenance)")
@@ -92,7 +93,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	db := rdfviews.NewDatabaseSharded(*shards)
+	db := rdfviews.NewDatabaseDual(*shards, *objShards)
 	if err := loadFile(db, *dataPath, false); err != nil {
 		fatal(err)
 	}
@@ -184,6 +185,7 @@ func main() {
 		}
 		if *cacheStats {
 			fmt.Printf("\nplan cache: %s\n", lv.CacheStats())
+			fmt.Printf("shard pruning: %s\n", lv.PruneStats())
 		}
 		if *serveAddr != "" {
 			if err := serveHTTP(lv, *serveAddr); err != nil {
@@ -216,7 +218,10 @@ func serveHTTP(lv *rdfviews.LiveViews, addr string) error {
 			return s, nil
 		}),
 		StatsExtra: func() map[string]any {
-			return map[string]any{"plan_cache": lv.CacheStats()}
+			return map[string]any{
+				"plan_cache":    lv.CacheStats(),
+				"shard_pruning": lv.PruneStats(),
+			}
 		},
 	})
 	if err != nil {

@@ -26,7 +26,7 @@ func TestCancelStopsAccounting(t *testing.T) {
 	defer func() { parallelScanMinRows = oldMin }()
 	forceParallelRewrite(t)
 
-	flat, sharded := diffStores(t)
+	flat, sharded, _ := diffStores(t)
 	fullScan := "q(X, P, Y) :- t(X, P, Y)"
 	chain3 := benchQueries["Chain3"]
 

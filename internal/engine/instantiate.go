@@ -17,9 +17,15 @@ import (
 // This is what makes compiled plans reusable across snapshots and across
 // parameter bindings: operator pipelines are built from p.st and the specs at
 // Eval time, so a clone carrying a fresh snapshot and the caller's concrete
-// constants executes the cached shape against current data. Join order,
-// permutations and shard fan-out are frozen at compile time — correct for any
-// binding, merely tuned for the one that triggered compilation.
+// constants executes the cached shape against current data. Join order and
+// permutations are frozen at compile time — correct for any binding, merely
+// tuned for the one that triggered compilation. Shard routing is NOT frozen:
+// substitution changes which shard a bound position hashes to, so the
+// concrete route is re-resolved from the instantiated patterns at
+// pipeline-build time (buildOps/buildVecOps for exchanges, the store's
+// routed NewCursor for serial scans). Only the route's *shape* — how many
+// shards it spans, decided by which positions are bound — is stable across
+// bindings, which is what keeps the compile-time parallelism decision valid.
 //
 // A nil reader keeps the plan's own; an empty substitution just rebinds.
 func (p *QueryPlan) Instantiate(st store.Reader, subst map[dict.ID]dict.ID) *QueryPlan {

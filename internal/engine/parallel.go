@@ -72,12 +72,13 @@ func (p *slabPool) put(s rowSlab) {
 	p.mu.Unlock()
 }
 
-// scanShard streams one shard's matching triples as slabs of bound register
-// rows. It returns early when done closes or the execution's interrupt
-// fires. Slabs are drawn from pool when it is non-nil; the consumer recycles
-// each slab once drained.
-func scanShard(st store.Reader, shard int, spec *atomSpec, width int, pool *slabPool, out chan<- rowSlab, done <-chan struct{}, intr *interrupt) {
-	cur := st.ShardCursor(shard, spec.perm, spec.pat)
+// scanShard streams one routed shard's matching triples as slabs of bound
+// register rows: worker k of a fan-out opens the route's k-th shard. It
+// returns early when done closes or the execution's interrupt fires. Slabs
+// are drawn from pool when it is non-nil; the consumer recycles each slab
+// once drained.
+func scanShard(st store.Reader, route store.Route, k int, spec *atomSpec, width int, pool *slabPool, out chan<- rowSlab, done <-chan struct{}, intr *interrupt) {
+	cur := st.RouteShardCursor(route, k, spec.perm, spec.pat)
 	var slab rowSlab
 	flush := func() bool {
 		if len(slab.rows) == 0 {
@@ -132,6 +133,7 @@ type exchangeOp struct {
 	st    store.Reader
 	spec  *atomSpec
 	width int
+	route store.Route // placement route the workers fan out over
 	dop   int
 	intr  *interrupt
 
@@ -150,9 +152,9 @@ func (e *exchangeOp) start() {
 	var wg sync.WaitGroup
 	for s := 0; s < e.dop; s++ {
 		wg.Add(1)
-		go func(shard int) {
+		go func(k int) {
 			defer wg.Done()
-			scanShard(e.st, shard, e.spec, e.width, &e.pool, e.ch, e.done, e.intr)
+			scanShard(e.st, e.route, k, e.spec, e.width, &e.pool, e.ch, e.done, e.intr)
 		}(s)
 	}
 	go func() {
@@ -206,6 +208,7 @@ type gatherMergeOp struct {
 	st    store.Reader
 	spec  *atomSpec
 	width int
+	route store.Route // placement route the workers fan out over
 	dop   int
 	slot  int // register slot the streams are merged on
 	intr  *interrupt
@@ -250,11 +253,11 @@ func (g *gatherMergeOp) start() {
 		g.live[s] = s
 		ch := make(chan rowSlab, 2)
 		g.streams[s].ch = ch
-		go func(shard int, out chan rowSlab) {
+		go func(k int, out chan rowSlab) {
 			defer close(out)
 			// nil pool: the merge consumer may still expose the previous
 			// slab's tail row when a stream refills, so slabs are not reused.
-			scanShard(g.st, shard, g.spec, g.width, nil, out, g.done, g.intr)
+			scanShard(g.st, g.route, k, g.spec, g.width, nil, out, g.done, g.intr)
 		}(s, ch)
 	}
 	g.started = true

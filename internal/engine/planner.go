@@ -351,18 +351,26 @@ func PlanQueryWithStats(st store.Reader, q *cq.Query, cards Cards) (*QueryPlan, 
 		}
 	}
 
-	// Exchange parallelism: a driving scan over a sharded store whose subject
-	// is unbound touches every shard, so fan it out across them when it is
-	// large enough to amortize the workers. The fan-in must be an ordered
-	// gather (merging on the scan's sort slot) only when a downstream merge
-	// join consumes that order before anything re-establishes (Sort) or
-	// destroys (build=left hash join) it; otherwise batches surface in
-	// arrival order. With one shard (the default) plans are exactly the
-	// historical serial ones.
-	if len(p.steps) > 0 && p.steps[0].kind == stepScan && st != nil && st.NumShards() > 1 {
+	// Exchange parallelism: a driving scan whose placement route spans more
+	// than one shard touches all of them, so fan it out across the route when
+	// it is large enough to amortize the workers. The route is computed by
+	// the store's Placement: a pattern bound on a partition column (subject,
+	// or object on a dual layout) prunes to one shard and stays serial —
+	// planner-driven shard pruning. The fan-in must be an ordered gather
+	// (merging on the scan's sort slot) only when a downstream merge join
+	// consumes that order before anything re-establishes (Sort) or destroys
+	// (build=left hash join) it; otherwise batches surface in arrival order.
+	// With one shard (the default) plans are exactly the historical serial
+	// ones. The concrete shard subset is re-resolved from the instantiated
+	// pattern at pipeline-build time (buildOps/buildVecOps): constant
+	// substitution in cached plan templates never changes which positions
+	// are bound — so this par decision stays valid — but it does change
+	// which single shard a bound position hashes to.
+	if len(p.steps) > 0 && p.steps[0].kind == stepScan && st != nil {
 		s0 := &p.steps[0]
-		if s0.spec.pat[store.S] == store.Wildcard && s0.est >= parallelScanMinRows {
-			s0.par = st.NumShards()
+		route := st.Placement().Route(s0.spec.perm, s0.spec.pat)
+		if route.Len() > 1 && s0.est >= parallelScanMinRows {
+			s0.par = route.Len()
 			s0.parSlot = -1
 			for i := 1; i < len(p.steps); i++ {
 				s := &p.steps[i]
@@ -568,6 +576,21 @@ func orderAtoms(q *cq.Query, cards Cards) ([]int, []float64) {
 	return order, counts
 }
 
+// scanRoute resolves the concrete shard route for a parallel driving scan at
+// pipeline-build time. The planner froze the decision *that* the scan fans
+// out (s.par, from the route's shape — which positions are bound); the
+// concrete shard subset depends on the constant values actually in the
+// pattern, which for a cached plan template are substituted per Instantiate
+// call. Non-parallel steps return dop 1 without consulting placement (plans
+// built against a nil store — pure cost exploration — never fan out).
+func (p *QueryPlan) scanRoute(s *planStep) (store.Route, int) {
+	if s.par <= 1 || p.st == nil {
+		return store.Route{}, 1
+	}
+	route := p.st.Placement().Route(s.spec.perm, s.spec.pat)
+	return route, route.Len()
+}
+
 // buildOps instantiates the operator pipeline. Operators are single-use:
 // each Eval call builds a fresh pipeline. The execution's interrupt is
 // threaded to every operator that loops over a cursor without returning
@@ -579,11 +602,12 @@ func (p *QueryPlan) buildOps(intr *interrupt) op {
 		s := &p.steps[i]
 		switch s.kind {
 		case stepScan:
+			route, par := p.scanRoute(s)
 			switch {
-			case s.par > 1 && s.parSlot >= 0:
-				cur = &gatherMergeOp{st: p.st, spec: s.spec, width: p.width, dop: s.par, slot: s.parSlot, intr: intr}
-			case s.par > 1:
-				cur = &exchangeOp{st: p.st, spec: s.spec, width: p.width, dop: s.par, intr: intr}
+			case par > 1 && s.parSlot >= 0:
+				cur = &gatherMergeOp{st: p.st, spec: s.spec, width: p.width, route: route, dop: par, slot: s.parSlot, intr: intr}
+			case par > 1:
+				cur = &exchangeOp{st: p.st, spec: s.spec, width: p.width, route: route, dop: par, intr: intr}
 			default:
 				cur = &scanOp{st: p.st, spec: s.spec, width: p.width, intr: intr}
 			}
@@ -725,6 +749,16 @@ func (p *QueryPlan) DescribeWithOptions(opts ExecOptions) *algebra.PhysNode {
 			fmt.Sprintf("t(%s, %s, %s) perm=%s prefix=%d",
 				a[0], a[1], a[2], s.spec.perm, len(constPositions(a))),
 			s.est)
+		// Placement routing: on a sharded layout every scan leaf shows how
+		// many of its routed side's partitions it opens (shards=m/K). Every
+		// operator opens its cursor through the store's routed NewCursor, so
+		// the annotation is the runtime behaviour, not a hint. Flat stores
+		// (K=1) stay unannotated — their plans are the historical ones.
+		if p.st != nil {
+			if r := p.st.Placement().Route(s.spec.perm, s.spec.pat); r.K > 1 {
+				scan.Detail += fmt.Sprintf(" shards=%d/%d", r.Len(), r.K)
+			}
+		}
 		// Scan leaves that decode column batches under vectorized execution
 		// self-describe the batch size. A merge join's inner cursor is the
 		// exception: its group buffering consumes the cursor row-at-a-time,
@@ -737,7 +771,6 @@ func (p *QueryPlan) DescribeWithOptions(opts ExecOptions) *algebra.PhysNode {
 			node = scan
 			if s.par > 1 {
 				scan.Op = "ParallelScan"
-				scan.Detail += fmt.Sprintf(" shards=%d", s.par)
 				detail := ""
 				if s.parSlot >= 0 {
 					detail = fmt.Sprintf("merge=[%s]", p.slotTerms[s.parSlot])

@@ -20,12 +20,18 @@ func (f cardsFunc) AtomCount(a cq.Atom) float64 { return f(a) }
 // pipeline to merge against a large, already-sorted predicate index beats
 // hash-joining it.
 func chainStore(t testing.TB, k int) (*store.Store, *cq.Parser) {
+	return chainStoreDual(t, k, 0)
+}
+
+// chainStoreDual is chainStore over an explicit placement: subjectK
+// subject-hash shards plus objectK object-hash replica shards (0 = none).
+func chainStoreDual(t testing.TB, subjectK, objectK int) (*store.Store, *cq.Parser) {
 	if h, ok := t.(interface{ Helper() }); ok {
 		h.Helper()
 	}
 	st := store.New()
-	if k > 1 {
-		st = store.NewSharded(k)
+	if subjectK > 1 || objectK > 0 {
+		st = store.NewDual(subjectK, objectK)
 	}
 	d := st.Dict()
 	add := func(s, p, o string) {
@@ -87,8 +93,9 @@ func TestPlanChainOfFourSortBreak(t *testing.T) {
 
 // TestPlanDepthAgainstINLShapes is the INL-oracle differential matrix of the
 // planner-depth features: chain, star, cycle and repeated-variable shapes,
-// each evaluated over a flat and a 4-shard store, with planner depth on and
-// off — all six-way combinations must agree with the recursive oracle.
+// each evaluated over a flat, a 4-subject-shard and a 4×4 dual-partitioned
+// store, with planner depth on and off — all combinations must agree with
+// the recursive oracle.
 func TestPlanDepthAgainstINLShapes(t *testing.T) {
 	forceParallel(t)
 	defer func() { enablePlannerDepth = true }()
@@ -101,24 +108,25 @@ func TestPlanDepthAgainstINLShapes(t *testing.T) {
 		"q(X, W) :- t(X, p1, Y), t(Z, p2, Y), t(Z, p3, W)", // value join mid-chain
 		"q(X, Z) :- t(X, p1, Y), t(Y, p2, Z), t(X, p3, Z)", // diamond closure
 	}
+	layouts := []struct{ subjectK, objectK int }{{1, 0}, {4, 0}, {4, 4}}
 	for _, depth := range []bool{true, false} {
 		enablePlannerDepth = depth
-		for _, k := range []int{1, 4} {
-			st, p := chainStore(t, k)
+		for _, lay := range layouts {
+			st, p := chainStoreDual(t, lay.subjectK, lay.objectK)
 			for _, src := range shapes {
 				q := p.MustParseQuery(src)
 				p.ResetNames()
 				got, err := EvalQuery(st, q)
 				if err != nil {
-					t.Fatalf("depth=%v shards=%d %s: %v", depth, k, src, err)
+					t.Fatalf("depth=%v layout=%d/%d %s: %v", depth, lay.subjectK, lay.objectK, src, err)
 				}
 				want, err := evalQueryINL(st, q)
 				if err != nil {
 					t.Fatal(err)
 				}
 				if !got.EqualAsSet(want) {
-					t.Fatalf("depth=%v shards=%d %s: pipeline %d rows, INL %d rows",
-						depth, k, src, got.Len(), want.Len())
+					t.Fatalf("depth=%v layout=%d/%d %s: pipeline %d rows, INL %d rows",
+						depth, lay.subjectK, lay.objectK, src, got.Len(), want.Len())
 				}
 			}
 		}

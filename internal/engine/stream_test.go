@@ -54,8 +54,8 @@ func TestEvalStreamMatchesEval(t *testing.T) {
 		"valuejoin":  benchQueries["ValueJoin"],
 		"self-loop":  "q(X) :- t(X, " + datagen.PropName(0) + ", X)",
 	}
-	flat, sharded := diffStores(t)
-	for layout, st := range map[string]*store.Store{"flat": flat, "4-shard": sharded} {
+	flat, sharded, dual := diffStores(t)
+	for layout, st := range map[string]*store.Store{"flat": flat, "4-shard": sharded, "4x4-dual": dual} {
 		p := cq.NewParser(st.Dict())
 		for name, src := range shapes {
 			q := p.MustParseQuery(src)
@@ -167,7 +167,7 @@ func TestUnionProjectStreams(t *testing.T) {
 // materializing and streaming, store-side and rewriting — with ctx.Err(), and
 // that the engine's cancellation checkpoints register the stop.
 func TestExecCancelContext(t *testing.T) {
-	flat, _ := diffStores(t)
+	flat, _, _ := diffStores(t)
 	p := cq.NewParser(flat.Dict())
 	q := p.MustParseQuery("q(X, P, Y) :- t(X, P, Y)")
 	plan, err := PlanQuery(flat, q)

@@ -835,11 +835,12 @@ func (p *QueryPlan) buildVecOps(intr *interrupt) vop {
 		leftSlots := append([]int(nil), bound...)
 		switch s.kind {
 		case stepScan:
+			route, par := p.scanRoute(s)
 			switch {
-			case s.par > 1 && s.parSlot >= 0:
-				cur = &vecGatherMergeOp{st: p.st, spec: s.spec, width: p.width, dop: s.par, slot: s.parSlot, intr: intr}
-			case s.par > 1:
-				cur = &vecExchangeOp{st: p.st, spec: s.spec, width: p.width, dop: s.par, intr: intr}
+			case par > 1 && s.parSlot >= 0:
+				cur = &vecGatherMergeOp{st: p.st, spec: s.spec, width: p.width, route: route, dop: par, slot: s.parSlot, intr: intr}
+			case par > 1:
+				cur = &vecExchangeOp{st: p.st, spec: s.spec, width: p.width, route: route, dop: par, intr: intr}
 			default:
 				cur = &vecScanOp{st: p.st, spec: s.spec, width: p.width, intr: intr}
 			}

@@ -16,10 +16,10 @@ import (
 // DOP. The oracle is selected with ExecOptions{Vectorized: VecOff}; the
 // default is the batch protocol.
 
-// diffStores builds the flat and 4-shard variants of the standard 20k-triple
-// dataset, with a few self-loop edges added so the repeated-variable shape
-// has matches.
-func diffStores(t *testing.T) (flat, sharded *store.Store) {
+// diffStores builds the flat, 4-shard and 4×4 dual-partitioned variants of
+// the standard 20k-triple dataset, with a few self-loop edges added so the
+// repeated-variable shape has matches.
+func diffStores(t *testing.T) (flat, sharded, dual *store.Store) {
 	t.Helper()
 	flat, _ = datagen.Generate(datagen.Config{Triples: 20000, Seed: 3})
 	d := flat.Dict()
@@ -32,14 +32,18 @@ func diffStores(t *testing.T) (flat, sharded *store.Store) {
 	sharded = store.NewWithDictSharded(d, 4)
 	sharded.AddBatch(flat.Triples())
 	sharded.Count(store.Pattern{})
-	return flat, sharded
+	dual = store.NewWithDictDual(d, 4, 4)
+	dual.AddBatch(flat.Triples())
+	dual.Count(store.Pattern{})
+	return flat, sharded, dual
 }
 
 // TestVectorizedEvalMatchesRows is the store-side matrix: nine query shapes
 // (scans, chains, stars, a five-atom mix, a value join, a self-loop) over the
-// flat and 4-shard stores, vectorized vs row oracle, multiset-exact. The
-// parallel-scan threshold is dropped so the sharded runs exercise the
-// exchange and ordered-gather operators in both protocols.
+// flat, 4-shard and 4×4 dual-partitioned stores, vectorized vs row oracle,
+// multiset-exact. The parallel-scan threshold is dropped so the sharded runs
+// exercise the exchange and ordered-gather operators in both protocols, over
+// both partition sides on the dual layout.
 func TestVectorizedEvalMatchesRows(t *testing.T) {
 	oldMin := parallelScanMinRows
 	parallelScanMinRows = 0
@@ -56,8 +60,8 @@ func TestVectorizedEvalMatchesRows(t *testing.T) {
 		"valuejoin":  benchQueries["ValueJoin"],
 		"self-loop":  "q(X) :- t(X, " + datagen.PropName(0) + ", X)",
 	}
-	flat, sharded := diffStores(t)
-	for layout, st := range map[string]*store.Store{"flat": flat, "4-shard": sharded} {
+	flat, sharded, dual := diffStores(t)
+	for layout, st := range map[string]*store.Store{"flat": flat, "4-shard": sharded, "4x4-dual": dual} {
 		p := cq.NewParser(st.Dict())
 		for name, src := range shapes {
 			q := p.MustParseQuery(src)
@@ -157,7 +161,7 @@ func TestVectorizedAbandonedPipeline(t *testing.T) {
 	oldMin := parallelScanMinRows
 	parallelScanMinRows = 0
 	defer func() { parallelScanMinRows = oldMin }()
-	_, sharded := diffStores(t)
+	_, sharded, _ := diffStores(t)
 	q := cq.NewParser(sharded.Dict()).MustParseQuery("q(X, P, Y) :- t(X, P, Y)")
 	qp, err := PlanQuery(sharded, q)
 	if err != nil {

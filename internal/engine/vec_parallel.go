@@ -15,14 +15,15 @@ import (
 // consumer as it advances, so steady-state parallel scans allocate nothing
 // per batch.
 
-// vecScanShard streams one shard's matching triples as pooled column batches.
-// It returns early when done closes or intr fires (the cancellation checkpoint
-// also covers batches a send would never flush: fully-filtered ones). Batches
+// vecScanShard streams one routed shard's matching triples as pooled column
+// batches: worker k of a fan-out opens the route's k-th shard. It returns
+// early when done closes or intr fires (the cancellation checkpoint also
+// covers batches a send would never flush: fully-filtered ones). Batches
 // with no surviving rows (all dropped by repeated-variable checks) are
 // recycled, never sent, preserving the vop contract that delivered batches are
 // non-empty.
-func vecScanShard(st store.Reader, shard int, spec *atomSpec, pool *batchPool, out chan<- *batch, done <-chan struct{}, intr *interrupt) {
-	cur := st.ShardCursor(shard, spec.perm, spec.pat)
+func vecScanShard(st store.Reader, route store.Route, k int, spec *atomSpec, pool *batchPool, out chan<- *batch, done <-chan struct{}, intr *interrupt) {
+	cur := st.RouteShardCursor(route, k, spec.perm, spec.pat)
 	tris := getTris()
 	defer putTris(tris)
 	for {
@@ -56,6 +57,7 @@ type vecExchangeOp struct {
 	st    store.Reader
 	spec  *atomSpec
 	width int
+	route store.Route // placement route the workers fan out over
 	dop   int
 	intr  *interrupt
 
@@ -74,9 +76,9 @@ func (e *vecExchangeOp) start() {
 	var wg sync.WaitGroup
 	for s := 0; s < e.dop; s++ {
 		wg.Add(1)
-		go func(shard int) {
+		go func(k int) {
 			defer wg.Done()
-			vecScanShard(e.st, shard, e.spec, e.pool, e.ch, e.done, e.intr)
+			vecScanShard(e.st, e.route, k, e.spec, e.pool, e.ch, e.done, e.intr)
 		}(s)
 	}
 	go func() {
@@ -159,6 +161,7 @@ type vecGatherMergeOp struct {
 	st    store.Reader
 	spec  *atomSpec
 	width int
+	route store.Route // placement route the workers fan out over
 	dop   int
 	slot  int // register slot the streams are merged on
 	intr  *interrupt
@@ -185,9 +188,9 @@ func (g *vecGatherMergeOp) start() {
 		g.live[s] = s
 		ch := make(chan *batch, 2)
 		g.streams[s].ch = ch
-		go func(shard int, out chan *batch) {
+		go func(k int, out chan *batch) {
 			defer close(out)
-			vecScanShard(g.st, shard, g.spec, g.pool, out, g.done, g.intr)
+			vecScanShard(g.st, g.route, k, g.spec, g.pool, out, g.done, g.intr)
 		}(s, ch)
 	}
 	g.out = newBatch(g.width)

@@ -142,13 +142,26 @@ func TestNewRejectsInvalidView(t *testing.T) {
 
 // TestIncrementalMatchesRecompute is the central property: after any random
 // sequence of inserts and deletes, every incrementally maintained extent
-// equals a from-scratch materialization.
+// equals a from-scratch materialization — over the flat layout and over a
+// dual-partitioned one, where every delta routes to both partition sides.
 func TestIncrementalMatchesRecompute(t *testing.T) {
+	layouts := []struct {
+		name string
+		st   *store.Store
+	}{
+		{"flat", store.New()},
+		{"4x4-dual", store.NewDual(4, 4)},
+	}
+	for _, lay := range layouts {
+		t.Run(lay.name, func(t *testing.T) { incrementalMatchesRecompute(t, lay.st) })
+	}
+}
+
+func incrementalMatchesRecompute(t *testing.T, st *store.Store) {
 	rng := rand.New(rand.NewSource(77))
 	subjects := []string{"a", "b", "c", "d"}
 	props := []string{"p", "q", "isParentOf", "hasPainted"}
 
-	st := store.New()
 	p := cq.NewParser(st.Dict())
 	views := map[algebra.ViewID]*cq.Query{}
 	views[1] = p.MustParseQuery("q(X, Z) :- t(X, isParentOf, Y), t(Y, hasPainted, Z)")

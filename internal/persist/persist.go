@@ -30,25 +30,30 @@ func init() {
 }
 
 // FormatVersion is the current snapshot/bundle format. Version 2 added
-// per-shard database sections; readers accept version 1 artifacts (flat
-// triple list, single shard) for backward compatibility.
-const FormatVersion = 2
+// per-shard database sections; version 3 added the placement metadata of
+// dual-partitioned layouts (object-side shard count). Readers accept version
+// 1 and 2 artifacts for backward compatibility.
+const FormatVersion = 3
 
 // oldestReadableVersion is the earliest format readers still understand.
 const oldestReadableVersion = 1
 
 // databaseImage is the gob form of a database snapshot. Version 1 wrote the
 // flat Triples list; version 2 writes Shards + Sections (one triple section
-// per store shard), so a sharded store round-trips with its partitioning.
-// Gob leaves absent fields zero, which is how the v2 reader recognizes v1
-// images.
+// per store shard), so a sharded store round-trips with its partitioning;
+// version 3 adds ObjectShards so a dual-partitioned store round-trips with
+// its full placement. Only subject-side sections are written — the object
+// side holds replicas of the same triples, so it is rebuilt by write routing
+// on load rather than stored twice. Gob leaves absent fields zero, which is
+// how newer readers recognize older images.
 type databaseImage struct {
-	Version  int
-	Terms    []rdf.Term
-	Triples  []store.Triple // v1 layout; nil in v2 images
-	Schema   []rdf.Statement
-	Shards   int              // v2: shard count (0 in v1 images)
-	Sections [][]store.Triple // v2: per-shard triples
+	Version      int
+	Terms        []rdf.Term
+	Triples      []store.Triple // v1 layout; nil in v2+ images
+	Schema       []rdf.Statement
+	Shards       int              // v2: subject-side shard count (0 in v1 images)
+	Sections     [][]store.Triple // v2: per-subject-shard triples
+	ObjectShards int              // v3: object-side shard count (0 = subject-only)
 }
 
 // SaveDatabase writes a snapshot of the store and schema, with one section
@@ -57,8 +62,9 @@ type databaseImage struct {
 // the IDs in the earlier-pinned triples even when writers run concurrently.
 func SaveDatabase(w io.Writer, st *store.Store, schema *rdf.Schema) error {
 	img := databaseImage{
-		Version: FormatVersion,
-		Shards:  st.NumShards(),
+		Version:      FormatVersion,
+		Shards:       st.NumShards(),
+		ObjectShards: st.Placement().ObjectShards,
 	}
 	img.Sections = make([][]store.Triple, st.NumShards())
 	for i := range img.Sections {
@@ -73,7 +79,10 @@ func SaveDatabase(w io.Writer, st *store.Store, schema *rdf.Schema) error {
 
 // LoadDatabase reads a snapshot back into a fresh store and schema. Version 1
 // images load into a single-shard store; version 2 images restore the shard
-// count they were written with.
+// count they were written with; version 3 images restore the full dual
+// placement, with the object-side replicas rebuilt by write routing (images
+// never carry them). Older images load with ObjectShards zero — a
+// subject-only layout, exactly what they were written from.
 func LoadDatabase(r io.Reader) (*store.Store, *rdf.Schema, error) {
 	var img databaseImage
 	if err := gob.NewDecoder(r).Decode(&img); err != nil {
@@ -86,7 +95,7 @@ func LoadDatabase(r io.Reader) (*store.Store, *rdf.Schema, error) {
 	if shards < 1 {
 		shards = 1
 	}
-	st := store.NewWithDictSharded(dict.FromTerms(img.Terms), shards)
+	st := store.NewWithDictDual(dict.FromTerms(img.Terms), shards, img.ObjectShards)
 	st.AddBatch(img.Triples)
 	for _, sec := range img.Sections {
 		st.AddBatch(sec)

@@ -171,6 +171,59 @@ func BenchmarkUpdateThenReadFullRebuild(b *testing.B) {
 	}
 }
 
+// benchDualStore is benchStore over an explicit placement.
+func benchDualStore(b *testing.B, subjectK, objectK, n int) *Store {
+	b.Helper()
+	st := NewDual(subjectK, objectK)
+	rng := rand.New(rand.NewSource(1))
+	d := st.Dict()
+	for st.Len() < n {
+		st.Add(Triple{
+			d.EncodeIRI(fmt.Sprintf("s%d", rng.Intn(n/4+1))),
+			d.EncodeIRI(fmt.Sprintf("p%d", rng.Intn(32))),
+			d.EncodeIRI(fmt.Sprintf("o%d", rng.Intn(n/4+1))),
+		})
+	}
+	st.Count(Pattern{})
+	return st
+}
+
+// BenchmarkObjectBoundLookup measures what placement routing buys on the
+// reformulated-union access shape (?s p o): on a subject-only K=8 store the
+// lookup fans out over all 8 shards and merges their streams; on an 8×8 dual
+// layout it opens exactly the one object shard that owns the constant.
+func BenchmarkObjectBoundLookup(b *testing.B) {
+	for _, bc := range []struct {
+		name              string
+		subjectK, objectK int
+	}{
+		{"fanout-8-subject-shards", 8, 0},
+		{"pruned-8x8-dual", 8, 8},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			st := benchDualStore(b, bc.subjectK, bc.objectK, 50000)
+			d := st.Dict()
+			objs := make([]dict.ID, 0, 64)
+			for i := 0; len(objs) < cap(objs); i++ {
+				// A sparse object may miss the random fixture; a failed lookup
+				// would turn the position into a Wildcard and the point lookup
+				// into a full scan, so keep only objects that exist.
+				if id, ok := d.LookupIRI(fmt.Sprintf("o%d", i)); ok {
+					objs = append(objs, id)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pat := Pattern{Wildcard, Wildcard, objs[i%len(objs)]}
+				pi, _ := indexFor(pat)
+				cur := st.NewCursor(Perm(pi), pat)
+				for _, ok := cur.Next(); ok; _, ok = cur.Next() {
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRemoveThenReadIncremental is the deletion-side counterpart:
 // tombstone + threshold merge versus what would have been a full rebuild.
 func BenchmarkRemoveThenReadIncremental(b *testing.B) {

@@ -69,19 +69,39 @@ func (c *subCursor) next(order [3]int) (Triple, bool) {
 // NewCursor opens a cursor over permutation p for the pattern. The bound
 // pattern positions that form a prefix of p's order are resolved by range
 // lookup; any bound position after a wildcard (in permutation order) is
-// filtered row-by-row. The triples stream in p's global sort order. A
-// subject-bound pattern opens only the owning shard.
+// filtered row-by-row. The triples stream in p's global sort order. The
+// pattern is routed through the store's Placement, so a subject-bound
+// pattern opens only its owning subject shard and — on a dual layout — an
+// object-bound pattern opens only its owning object shard.
 func (st *Store) NewCursor(p Perm, pat Pattern) Cursor {
-	if pat[S] != Wildcard && len(st.shards) > 1 {
-		i := st.shardOf(pat[S])
-		return cursorOverSnaps(st.loadSnaps(st.shards[i:i+1]), p, pat)
-	}
-	return cursorOverSnaps(st.loadSnaps(st.shards), p, pat)
+	return st.RouteCursor(st.Placement().Route(p, pat), p, pat)
 }
 
-// ShardCursor opens a cursor over shard i only — the per-partition stream the
-// engine's parallel scan operators fan out over. Shard i's triples stream in
-// p's sort order under the same snapshot isolation as NewCursor.
+// RouteCursor opens a cursor merged over exactly the route's shards and
+// records the open in the pruning ledger. The route must come from the
+// store's own Placement (routes carry side/shard indexes, which only make
+// sense against the layout that produced them).
+func (st *Store) RouteCursor(r Route, p Perm, pat Pattern) Cursor {
+	shs := st.routeShards(r)
+	st.prune.record(len(shs), r.K)
+	return cursorOverSnaps(st.loadSnaps(shs), p, pat)
+}
+
+// RouteShardCursor opens a cursor over the route's k-th shard only — the
+// per-partition stream the engine's parallel exchanges fan out over. The
+// whole fan-out is one logical routed open, so only worker 0 records it in
+// the pruning ledger.
+func (st *Store) RouteShardCursor(r Route, k int, p Perm, pat Pattern) Cursor {
+	shs := st.routeShards(r)
+	if k == 0 {
+		st.prune.record(len(shs), r.K)
+	}
+	return cursorOverSnaps(st.loadSnaps(shs[k:k+1]), p, pat)
+}
+
+// ShardCursor opens a cursor over subject-side shard i only, bypassing
+// placement routing (and the pruning ledger); the historical per-partition
+// surface, kept for callers that address subject partitions directly.
 func (st *Store) ShardCursor(i int, p Perm, pat Pattern) Cursor {
 	return cursorOverSnaps(st.loadSnaps(st.shards[i:i+1]), p, pat)
 }

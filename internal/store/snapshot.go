@@ -3,46 +3,69 @@ package store
 import "rdfviews/internal/dict"
 
 // Snapshot is an immutable point-in-time view of the whole store: every
-// shard's published snapshot, pinned together and tagged with the store epoch
-// they were captured at. Because shards publish immutable state through
-// atomic pointers, capturing a Snapshot copies K pointers — no triples, no
-// indexes — and the pinned state stays readable forever, regardless of later
+// shard's published snapshot — both partition sides of a dual layout —
+// pinned together and tagged with the store epoch they were captured at.
+// Because shards publish immutable state through atomic pointers, capturing
+// a Snapshot copies K (+ K object-side) pointers — no triples, no indexes —
+// and the pinned state stays readable forever, regardless of later
 // mutations, compactions or densifications.
 //
 // A Snapshot satisfies Reader, so queries planned and evaluated against it
-// see exactly the store state of its epoch. This is the primitive the async
-// view maintainer batches on: delta queries for a batch of updates run
-// against the snapshot aligned with the batch boundary, never against a
-// store that has raced ahead.
+// see exactly the store state of its epoch, with the same placement-routed
+// shard pruning the live store has. This is the primitive the async view
+// maintainer batches on: delta queries for a batch of updates run against
+// the snapshot aligned with the batch boundary, never against a store that
+// has raced ahead.
 //
 // Consistency across shards is the caller's concern: a Snapshot captured
 // while writers are mid-flight pins each shard independently (the same
-// per-shard isolation a multi-shard Cursor has always had). Callers that
-// need a cross-shard-consistent cut (the maintainer) capture under their own
-// write serialization.
+// per-shard isolation a multi-shard Cursor has always had, now spanning both
+// sides of the dual layout). Callers that need a cross-shard-consistent cut
+// (the maintainer) capture under their own write serialization.
 type Snapshot struct {
-	st    *Store
-	snaps []*snap
-	epoch uint64
+	st     *Store
+	snaps  []*snap // pinned subject-side shards
+	osnaps []*snap // pinned object-side shards (dual layouts)
+	epoch  uint64
 }
 
 var _ Reader = (*Snapshot)(nil)
 
-// Snapshot pins the current state of every shard. The epoch tag is read
-// before the shard pointers, so under concurrent writers it is a lower bound
-// on the pinned state; captured under the caller's write serialization it is
-// exact.
+// Snapshot pins the current state of every shard on both sides. The epoch
+// tag is read before the shard pointers, so under concurrent writers it is a
+// lower bound on the pinned state; captured under the caller's write
+// serialization it is exact.
 func (st *Store) Snapshot() *Snapshot {
 	s := &Snapshot{st: st, epoch: st.epoch.Load()}
 	s.snaps = st.loadSnaps(st.shards)
+	if len(st.oshards) > 0 {
+		s.osnaps = st.loadSnaps(st.oshards)
+	}
 	return s
 }
 
 // Epoch returns the store epoch the snapshot was captured at.
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
-// NumShards returns the number of hash partitions.
+// NumShards returns the number of subject-side hash partitions.
 func (s *Snapshot) NumShards() int { return len(s.snaps) }
+
+// Placement returns the shard router of the snapshot's layout.
+func (s *Snapshot) Placement() Placement {
+	return Placement{SubjectShards: len(s.snaps), ObjectShards: len(s.osnaps)}
+}
+
+// routeSnaps resolves a route to the pinned snapshots it opens.
+func (s *Snapshot) routeSnaps(r Route) []*snap {
+	side := s.snaps
+	if r.Side == ObjectSide {
+		side = s.osnaps
+	}
+	if r.Shard >= 0 {
+		return side[r.Shard : r.Shard+1]
+	}
+	return side
+}
 
 // Len returns the number of distinct triples in the snapshot.
 func (s *Snapshot) Len() int {
@@ -54,17 +77,15 @@ func (s *Snapshot) Len() int {
 }
 
 // Count returns the exact number of snapshot triples matching the pattern,
-// answered from the pinned permutation indexes exactly like Store.Count.
+// answered from the pinned permutation indexes of the routed shard subset
+// exactly like Store.Count.
 func (s *Snapshot) Count(pat Pattern) int {
 	pi, prefix := indexFor(pat)
 	if prefix == nil {
 		return s.Len()
 	}
-	if pat[S] != Wildcard {
-		return s.snaps[s.st.shardOf(pat[S])].count(pi, prefix)
-	}
 	n := 0
-	for _, sn := range s.snaps {
+	for _, sn := range s.routeSnaps(s.Placement().Route(Perm(pi), pat)) {
 		n += sn.count(pi, prefix)
 	}
 	return n
@@ -78,16 +99,31 @@ func (s *Snapshot) Contains(t Triple) bool {
 	return s.snaps[s.st.shardOf(t[S])].count(int(SPO), prefix) > 0
 }
 
-// NewCursor opens a cursor over the pinned snapshot (see Store.NewCursor).
+// NewCursor opens a cursor over the pinned snapshot, placement-routed to the
+// minimal shard subset (see Store.NewCursor).
 func (s *Snapshot) NewCursor(p Perm, pat Pattern) Cursor {
-	if pat[S] != Wildcard && len(s.snaps) > 1 {
-		i := s.st.shardOf(pat[S])
-		return cursorOverSnaps(s.snaps[i:i+1], p, pat)
-	}
-	return cursorOverSnaps(s.snaps, p, pat)
+	return s.RouteCursor(s.Placement().Route(p, pat), p, pat)
 }
 
-// ShardCursor opens a cursor over pinned shard i only.
+// RouteCursor opens a cursor merged over exactly the route's pinned shards,
+// recording the open in the store's pruning ledger.
+func (s *Snapshot) RouteCursor(r Route, p Perm, pat Pattern) Cursor {
+	sns := s.routeSnaps(r)
+	s.st.prune.record(len(sns), r.K)
+	return cursorOverSnaps(sns, p, pat)
+}
+
+// RouteShardCursor opens a cursor over the route's k-th pinned shard only;
+// worker 0 records the whole fan-out (see Store.RouteShardCursor).
+func (s *Snapshot) RouteShardCursor(r Route, k int, p Perm, pat Pattern) Cursor {
+	sns := s.routeSnaps(r)
+	if k == 0 {
+		s.st.prune.record(len(sns), r.K)
+	}
+	return cursorOverSnaps(sns[k:k+1], p, pat)
+}
+
+// ShardCursor opens a cursor over pinned subject-side shard i only.
 func (s *Snapshot) ShardCursor(i int, p Perm, pat Pattern) Cursor {
 	return cursorOverSnaps(s.snaps[i:i+1], p, pat)
 }

@@ -9,6 +9,15 @@
 //     subject-bound lookups touch exactly one shard while unbound scans
 //     fan out across all of them — the unit of parallelism the engine's
 //     exchange operators exploit.
+//   - Optionally the layout is dual-partitioned: NewDual adds a second family
+//     of shards holding object-hash-partitioned replicas of every triple, so
+//     object-bound patterns (the dominant shape of reformulated union
+//     members) also prune to one shard instead of fanning out over all K
+//     subject partitions. Shard addressing is owned by the Placement router
+//     (placement.go): every read maps a (Perm, Pattern) pair to the minimal
+//     shard subset of one side, and a PruneStats ledger records shards
+//     opened versus the fan-out avoided. Writes route to both sides; each
+//     side reuses the shard machinery below unchanged.
 //   - Each shard owns the six sorted permutations of its triples (SPO, SOP,
 //     PSO, POS, OSP, OPS — the Hexastore scheme of [23]). Together they
 //     provide exact counts for any triple pattern with 0–3 constants (the
@@ -151,8 +160,12 @@ const maxShards = 256
 // should accept a Reader, so it runs identically against the live store and
 // against a pinned point-in-time snapshot.
 type Reader interface {
-	// NumShards returns the number of hash partitions.
+	// NumShards returns the number of subject-side hash partitions.
 	NumShards() int
+	// Placement returns the shard router describing the partition layout.
+	// The engine's planner consults it to compute the minimal shard subset
+	// (Route) of every scan before deciding fan-out.
+	Placement() Placement
 	// Len returns the number of distinct live triples.
 	Len() int
 	// Count returns the exact number of triples matching the pattern.
@@ -161,8 +174,14 @@ type Reader interface {
 	Contains(t Triple) bool
 	// NewCursor opens an ordered prefix-range cursor (see Store.NewCursor).
 	NewCursor(p Perm, pat Pattern) Cursor
-	// ShardCursor opens a cursor over one shard only (see Store.ShardCursor).
+	// ShardCursor opens a cursor over subject-side shard i only (see
+	// Store.ShardCursor).
 	ShardCursor(i int, p Perm, pat Pattern) Cursor
+	// RouteCursor opens a cursor merged over exactly the route's shards.
+	RouteCursor(r Route, p Perm, pat Pattern) Cursor
+	// RouteShardCursor opens a cursor over the route's k-th shard only — the
+	// per-partition stream parallel exchanges fan out over.
+	RouteShardCursor(r Route, k int, p Perm, pat Pattern) Cursor
 	// Scan visits every triple matching the pattern in index order until fn
 	// returns false (see Store.Scan).
 	Scan(pat Pattern, fn func(Triple) bool)
@@ -173,7 +192,18 @@ type Reader interface {
 // maintained incrementally on every mutation.
 type Store struct {
 	dict   *dict.Dictionary
-	shards []*shard
+	shards []*shard // subject-hash partitions (always present)
+
+	// oshards are the object-hash replica partitions of the dual layout
+	// (empty for subject-only stores). Every triple is written to its
+	// subject shard and, when the dual side exists, to its object shard;
+	// reads touch exactly one side, chosen by the Placement router, so the
+	// replica never double-counts.
+	oshards []*shard
+
+	// prune is the shard-pruning ledger every routed cursor open records
+	// into; shared with the store's Snapshots.
+	prune PruneStats
 
 	// epoch counts successful mutations (one per triple added or removed).
 	// Snapshots are tagged with the epoch they were captured at, giving the
@@ -216,15 +246,44 @@ func NewSharded(k int) *Store {
 
 // NewWithDictSharded is NewSharded over an existing dictionary.
 func NewWithDictSharded(d *dict.Dictionary, k int) *Store {
-	if k < 1 {
-		k = 1
+	return NewWithDictDual(d, k, 0)
+}
+
+// NewDual returns an empty dual-partitioned store: subjectK subject-hash
+// shards plus objectK object-hash replica shards, so both subject-bound and
+// object-bound patterns prune to a single shard. objectK = 0 degenerates to
+// the subject-only layout. Memory roughly doubles against NewSharded — the
+// replica side holds every triple again, with its own six permutation
+// indexes — which is the trade the serving tier makes to turn O(K) fan-outs
+// into O(1) lookups on both access sides.
+func NewDual(subjectK, objectK int) *Store {
+	return NewWithDictDual(dict.New(), subjectK, objectK)
+}
+
+// NewWithDictDual is NewDual over an existing dictionary. Shard counts are
+// clamped to [1, 256] (subject) and [0, 256] (object).
+func NewWithDictDual(d *dict.Dictionary, subjectK, objectK int) *Store {
+	if subjectK < 1 {
+		subjectK = 1
 	}
-	if k > maxShards {
-		k = maxShards
+	if subjectK > maxShards {
+		subjectK = maxShards
 	}
-	st := &Store{dict: d, shards: make([]*shard, k)}
+	if objectK < 0 {
+		objectK = 0
+	}
+	if objectK > maxShards {
+		objectK = maxShards
+	}
+	st := &Store{dict: d, shards: make([]*shard, subjectK)}
 	for i := range st.shards {
 		st.shards[i] = newShard()
+	}
+	if objectK > 0 {
+		st.oshards = make([]*shard, objectK)
+		for i := range st.oshards {
+			st.oshards[i] = newShard()
+		}
 	}
 	return st
 }
@@ -232,18 +291,21 @@ func NewWithDictSharded(d *dict.Dictionary, k int) *Store {
 // Dict returns the store's dictionary.
 func (st *Store) Dict() *dict.Dictionary { return st.dict }
 
-// NumShards returns the number of hash partitions.
+// NumShards returns the number of subject-side hash partitions.
 func (st *Store) NumShards() int { return len(st.shards) }
 
-// shardOf routes a subject ID to its shard.
-func (st *Store) shardOf(s dict.ID) int {
-	if len(st.shards) == 1 {
-		return 0
-	}
-	h := uint64(s) * 0x9e3779b97f4a7c15
-	h ^= h >> 32
-	return int(h % uint64(len(st.shards)))
+// Placement returns the store's shard router.
+func (st *Store) Placement() Placement {
+	return Placement{SubjectShards: len(st.shards), ObjectShards: len(st.oshards)}
 }
+
+// PruneStats returns the shard-pruning ledger: every routed cursor open
+// (serial or fanned out) records shards opened versus the routed side's full
+// fan-out. Shared with the store's Snapshots.
+func (st *Store) PruneStats() *PruneStats { return &st.prune }
+
+// shardOf routes a subject ID to its subject-side shard.
+func (st *Store) shardOf(s dict.ID) int { return shardOfID(s, len(st.shards)) }
 
 // Len returns the number of distinct triples.
 func (st *Store) Len() int {
@@ -256,9 +318,17 @@ func (st *Store) Len() int {
 
 // Add inserts an encoded triple, ignoring duplicates. It reports whether the
 // triple was new. The shard's permutation indexes are updated incrementally.
+// On a dual layout the triple is written to its subject shard first, then to
+// its object replica shard: the sides publish independently, so a concurrent
+// reader routed to the object side may briefly miss a triple the subject
+// side already serves — the same per-shard relaxation multi-shard cursors
+// have always had (each side is individually snapshot-consistent).
 func (st *Store) Add(t Triple) bool {
 	if st.shards[st.shardOf(t[S])].insert([]Triple{t}) == 0 {
 		return false
+	}
+	if len(st.oshards) > 0 {
+		st.oshards[shardOfID(t[O], len(st.oshards))].insert([]Triple{t})
 	}
 	st.epoch.Add(1)
 	st.statsGen.Add(1)
@@ -287,6 +357,18 @@ func (st *Store) AddBatch(ts []Triple) int {
 			}
 		}
 	}
+	if k := len(st.oshards); k > 0 {
+		groups := make([][]Triple, k)
+		for _, t := range ts {
+			i := shardOfID(t[O], k)
+			groups[i] = append(groups[i], t)
+		}
+		for i, g := range groups {
+			if len(g) > 0 {
+				st.oshards[i].insert(g)
+			}
+		}
+	}
 	if added > 0 {
 		st.epoch.Add(uint64(added))
 		st.statsGen.Add(1)
@@ -309,6 +391,9 @@ func (st *Store) Contains(t Triple) bool {
 func (st *Store) Remove(t Triple) bool {
 	if !st.shards[st.shardOf(t[S])].remove(t) {
 		return false
+	}
+	if len(st.oshards) > 0 {
+		st.oshards[shardOfID(t[O], len(st.oshards))].remove(t)
 	}
 	st.epoch.Add(1)
 	st.statsGen.Add(1)
@@ -397,21 +482,32 @@ func indexFor(pat Pattern) (int, []dict.ID) {
 // Count returns the exact number of triples matching the pattern. This is the
 // primitive behind the paper's statistics: exact counts for atoms with 0, 1,
 // or 2 constants (and 3, although 3-constant atoms are disallowed in views).
-// A subject-bound pattern is answered by a single shard; otherwise the
-// per-shard counts are aggregated.
+// The pattern is routed through the Placement: a subject-bound pattern is
+// answered by one subject shard, an object-bound pattern (on a dual layout)
+// by one object shard; otherwise one side's per-shard counts are aggregated.
 func (st *Store) Count(pat Pattern) int {
 	pi, prefix := indexFor(pat)
 	if prefix == nil {
 		return st.Len()
 	}
-	if pat[S] != Wildcard {
-		return st.shards[st.shardOf(pat[S])].cur.Load().count(pi, prefix)
-	}
+	r := st.Placement().Route(Perm(pi), pat)
 	n := 0
-	for _, sh := range st.shards {
+	for _, sh := range st.routeShards(r) {
 		n += sh.cur.Load().count(pi, prefix)
 	}
 	return n
+}
+
+// routeShards resolves a route to the backing shard slice it opens.
+func (st *Store) routeShards(r Route) []*shard {
+	side := st.shards
+	if r.Side == ObjectSide {
+		side = st.oshards
+	}
+	if r.Shard >= 0 {
+		return side[r.Shard : r.Shard+1]
+	}
+	return side
 }
 
 // Scan visits every triple matching the pattern, in the global order of the
@@ -549,13 +645,20 @@ func (st *Store) AvgWidth(col int) float64 {
 }
 
 // Clone returns a deep copy of the store sharing the dictionary and shard
-// count. It is used to saturate a database without mutating the original
-// (Section 4.2 compares both on equal footing). The copy shares no mutable
-// state: its shards are compacted, densified rebuilds.
+// layout (both sides of a dual partitioning). It is used to saturate a
+// database without mutating the original (Section 4.2 compares both on equal
+// footing). The copy shares no mutable state: its shards are compacted,
+// densified rebuilds.
 func (st *Store) Clone() *Store {
 	c := &Store{dict: st.dict, shards: make([]*shard, len(st.shards))}
 	for i, sh := range st.shards {
 		c.shards[i] = sh.clone()
+	}
+	if len(st.oshards) > 0 {
+		c.oshards = make([]*shard, len(st.oshards))
+		for i, sh := range st.oshards {
+			c.oshards[i] = sh.clone()
+		}
 	}
 	return c
 }

@@ -1,0 +1,66 @@
+package rdfviews
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServeDualReroutesCachedPlans is the end-to-end plan-cache rerouting
+// check: on a dual-partitioned database, queries sharing one cached skeleton
+// but differing in their object constant must each route to their own object
+// shard at instantiation time — every cache-hit answer stays point-routed
+// (ledger: shards opened == cursor opens) and exact.
+func TestServeDualReroutesCachedPlans(t *testing.T) {
+	db := NewDatabaseDual(8, 8)
+	db.MustLoadGraphString(serveData)
+	flat := NewDatabase()
+	flat.MustLoadGraphString(serveData)
+
+	shapes := []string{
+		`q(X) :- t(X, hasPainted, starryNight)`,
+		`q(X) :- t(X, hasPainted, guernica)`,
+		`q(X) :- t(X, hasPainted, irises)`,
+		`q(X) :- t(X, hasPainted, sunflowers)`,
+		`q(X) :- t(X, hasPainted, lesDemoiselles)`,
+	}
+	// Warm the cache with the first shape.
+	q0 := db.MustParseWorkload(shapes[0]).Queries[0]
+	if _, err := db.Answer(q0, ReasoningNone); err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range shapes[1:] {
+		q := db.MustParseWorkload(src).Queries[0]
+		cacheBefore := db.CacheStats()
+		pruneBefore := db.PruneStats()
+		got, err := db.Answer(q, ReasoningNone)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		cacheAfter := db.CacheStats()
+		pruneAfter := db.PruneStats()
+		if cacheAfter.Hits <= cacheBefore.Hits {
+			t.Fatalf("%s: expected a plan-cache hit: %+v -> %+v", src, cacheBefore, cacheAfter)
+		}
+		// Every cursor the cached-template execution opened was point-routed:
+		// the instantiated constant re-resolved to its own single shard.
+		opens := pruneAfter.Opens - pruneBefore.Opens
+		opened := pruneAfter.ShardsOpened - pruneBefore.ShardsOpened
+		if opens < 1 || opened != opens {
+			t.Fatalf("%s: cache-hit answer opened %d shards over %d opens, want point routes",
+				src, opened, opens)
+		}
+		want, err := flat.Answer(flat.MustParseWorkload(src).Queries[0], ReasoningNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameAnswers(got, want) {
+			t.Fatalf("%s: dual cached answer diverged from flat store:\ngot  %v\nwant %v",
+				src, got, want)
+		}
+	}
+
+	// The /stats-style snapshot renders the ledger.
+	if s := db.PruneStats().String(); !strings.Contains(s, "shards_opened=") {
+		t.Fatalf("PruneSnapshot.String() = %q", s)
+	}
+}

@@ -116,6 +116,23 @@ func NewDatabaseSharded(k int) *Database {
 	return &Database{st: store.NewSharded(k), schema: rdf.NewSchema()}
 }
 
+// NewDatabaseDual returns an empty database over a dual-partitioned store:
+// subjectK subject-hash shards plus objectK object-hash replica shards.
+// Placement routing then prunes every access to the minimal shard subset —
+// subject-bound patterns open one subject shard, object-bound patterns one
+// object shard (the fan-out the replica side exists to avoid) — at the cost
+// of storing each triple twice. Both counts are clamped to [1, 256] and
+// [0, 256] respectively; objectK=0 is exactly NewDatabaseSharded(subjectK).
+func NewDatabaseDual(subjectK, objectK int) *Database {
+	return &Database{st: store.NewDual(subjectK, objectK), schema: rdf.NewSchema()}
+}
+
+// PruneStats reports the store's shard-pruning ledger: cursor opens, shards
+// those opens touched, and the unpruned fan-outs they were routed against.
+func (db *Database) PruneStats() store.PruneSnapshot {
+	return db.st.PruneStats().Snapshot()
+}
+
 // LoadGraph parses N-Triples-style input (see internal syntax notes: full
 // <IRIs>, bare tokens, "literals", _:blanks) and loads it. RDFS statements
 // (subClassOf, subPropertyOf, domain, range) found in the input are added to

@@ -704,6 +704,14 @@ func (lv *LiveViews) CacheStats() stats.CacheSnapshot {
 	return lv.cache.Counters().Snapshot()
 }
 
+// PruneStats reports the maintained store's shard-pruning ledger: cursor
+// opens, shards those opens touched, and the unpruned fan-outs they were
+// routed against — how much work placement routing saved on the serving and
+// maintenance paths.
+func (lv *LiveViews) PruneStats() store.PruneSnapshot {
+	return lv.m.Store().PruneStats().Snapshot()
+}
+
 // InvalidatePlans drops every cached plan artifact (lazily: entries
 // recompile on their next lookup). Useful after bulk statistics shifts the
 // drift heuristic is too slow to notice.
